@@ -1,0 +1,204 @@
+// Package esrp is a node-failure-resilient preconditioned conjugate gradient
+// (PCG) solver on a simulated distributed-memory cluster, reproducing
+//
+//	Pachajoa, Pacher, Levonyak, Gansterer:
+//	"Algorithm-Based Checkpoint-Recovery for the Conjugate Gradient Method",
+//	ICPP 2020 (DOI 10.1145/3404397.3404438).
+//
+// The solver distributes a sparse symmetric positive-definite system over N
+// simulated nodes (block row partition) and protects the solve against the
+// simultaneous failure of up to φ nodes with one of three strategies:
+//
+//   - ESR — exact state reconstruction: every iteration's sparse
+//     matrix–vector product is augmented so that each entry of the search
+//     direction is replicated on φ other nodes; after a failure the exact
+//     solver state is reconstructed by running the PCG recurrences backwards
+//     (Alg. 2 of the paper).
+//   - ESRP — ESR with periodic storage (the paper's contribution): redundant
+//     copies are stored only in two consecutive iterations every T
+//     iterations, making ESR an algorithm-based checkpoint-restart method
+//     with tunable interval (Alg. 3).
+//   - IMCR — in-memory buddy checkpoint-restart (the baseline): every T
+//     iterations each node ships its dynamic vectors to φ buddy nodes.
+//
+// Failures are injected experimentally, exactly as in the paper's framework:
+// at a marked iteration the chosen ranks zero their dynamic state and act as
+// their own replacement nodes.
+//
+// # Quickstart
+//
+//	a := esrp.Poisson2D(64, 64)
+//	b := esrp.RHSOnes(a.Rows)
+//	res, err := esrp.Solve(esrp.Config{
+//		A: a, B: b, Nodes: 8,
+//		Strategy: esrp.StrategyESRP, T: 20, Phi: 1,
+//		Failure:  &esrp.FailureSpec{Iteration: 50, Ranks: []int{3}},
+//	})
+//
+// Runtime is reported on a deterministic simulated clock (LogGP model); see
+// internal/cluster for the machine model and DESIGN.md for the substitutions
+// made relative to the paper's 128-node MPI setup.
+package esrp
+
+import (
+	"esrp/internal/ckptmodel"
+	"esrp/internal/cluster"
+	"esrp/internal/core"
+	"esrp/internal/harness"
+	"esrp/internal/matgen"
+	"esrp/internal/precond"
+	"esrp/internal/sparse"
+)
+
+// Core solver types.
+type (
+	// Config describes one distributed solve; see core.Config.
+	Config = core.Config
+	// Result is the outcome of a solve.
+	Result = core.Result
+	// FailureSpec marks the iteration and ranks of an injected node failure.
+	FailureSpec = core.FailureSpec
+	// Strategy selects the resilience scheme.
+	Strategy = core.Strategy
+	// CostModel holds the simulated machine parameters.
+	CostModel = cluster.CostModel
+	// CSR is the sparse matrix type consumed by the solver.
+	CSR = sparse.CSR
+	// PrecondKind selects the preconditioner.
+	PrecondKind = precond.Kind
+)
+
+// Resilience strategies.
+const (
+	// StrategyNone runs plain PCG; after a failure it can only restart
+	// locally from the surviving iterand.
+	StrategyNone = core.StrategyNone
+	// StrategyESR stores redundant copies every iteration (T = 1).
+	StrategyESR = core.StrategyESR
+	// StrategyESRP stores redundant copies every T iterations (T > 2).
+	StrategyESRP = core.StrategyESRP
+	// StrategyIMCR checkpoints to buddy nodes every T iterations.
+	StrategyIMCR = core.StrategyIMCR
+)
+
+// Preconditioner kinds.
+const (
+	// PrecondIdentity applies no preconditioning (plain CG).
+	PrecondIdentity = precond.None
+	// PrecondJacobi applies point Jacobi (diagonal) preconditioning.
+	PrecondJacobi = precond.Jacobi
+	// PrecondBlockJacobi applies non-overlapping block Jacobi precondition-
+	// ing with node-local dense Cholesky blocks (the paper's choice).
+	PrecondBlockJacobi = precond.BlockJacobi
+	// PrecondIC0 applies node-local zero-fill incomplete Cholesky — the
+	// stronger preconditioner the paper's conclusions call for; it remains
+	// compatible with the exact state reconstruction.
+	PrecondIC0 = precond.IC0
+)
+
+// Solve runs one configured PCG solve on the simulated cluster.
+func Solve(cfg Config) (*Result, error) { return core.Solve(cfg) }
+
+// SolvePipelined runs the communication-hiding pipelined PCG variant
+// (Ghysels & Vanroose; the solver the paper's related work [16] extends ESR
+// to). It fuses the iteration's dot products into a single allreduce, which
+// halves the synchronization points — the win shows directly in the modeled
+// runtime when latency dominates. Supported strategies: StrategyNone (local
+// restart on failure) and StrategyIMCR (full-state buddy checkpointing).
+func SolvePipelined(cfg Config) (*Result, error) { return core.SolvePipelined(cfg) }
+
+// ParseStrategy converts a strategy name ("esr", "esrp", "imcr", "none").
+func ParseStrategy(s string) (Strategy, error) { return core.ParseStrategy(s) }
+
+// DefaultCostModel returns the LogGP parameters loosely calibrated to the
+// paper's VSC3 platform.
+func DefaultCostModel() CostModel { return cluster.DefaultCostModel() }
+
+// Matrix generators (synthetic analogs of the paper's test problems).
+
+// Poisson2D returns the 5-point finite-difference Laplacian on an nx×ny grid.
+func Poisson2D(nx, ny int) *CSR { return matgen.Poisson2D(nx, ny) }
+
+// Poisson3D returns the 7-point Laplacian on an nx×ny×nz grid.
+func Poisson3D(nx, ny, nz int) *CSR { return matgen.Poisson3D(nx, ny, nz) }
+
+// EmiliaLike returns a banded 3-D 27-point stencil matrix with the sparsity
+// character of the paper's Emilia_923 structural problem.
+func EmiliaLike(nx, ny, nz int, seed int64) *CSR { return matgen.EmiliaLike(nx, ny, nz, seed) }
+
+// AudikwLike returns a 3-D 27-point stencil with dof unknowns per vertex,
+// with the denser block-coupled character of the paper's audikw_1 problem.
+func AudikwLike(nx, ny, nz, dof int, seed int64) *CSR {
+	return matgen.AudikwLike(nx, ny, nz, dof, seed)
+}
+
+// BandedSPD returns a random diagonally dominant banded SPD matrix.
+func BandedSPD(n, bw int, seed int64) *CSR { return matgen.BandedSPD(n, bw, seed) }
+
+// RHSOnes returns the all-ones right-hand side of length n.
+func RHSOnes(n int) []float64 { return matgen.RHSOnes(n) }
+
+// RHSForSolution returns b = A·x* for a deterministic random solution x*,
+// so solves have a known ground truth.
+func RHSForSolution(a *CSR, seed int64) (b, xstar []float64) {
+	return matgen.RHSForSolution(a, seed)
+}
+
+// Experiment harness (the paper's constellation; Tables 2–4, Figures 2–3).
+type (
+	// ExperimentSpec describes a sweep over strategies, intervals and
+	// redundancy counts for one matrix.
+	ExperimentSpec = harness.Spec
+	// ExperimentReport aggregates the sweep's measurements.
+	ExperimentReport = harness.Report
+	// Table1Row is one matrix-inventory entry.
+	Table1Row = harness.Table1Row
+)
+
+// RunExperiment executes the full constellation for the spec.
+func RunExperiment(spec ExperimentSpec) (*ExperimentReport, error) { return harness.Run(spec) }
+
+// RenderTable1 prints a matrix inventory in the layout of Table 1.
+func RenderTable1(rows []Table1Row) string { return harness.RenderTable1(rows) }
+
+// RenderOverheadTable prints a report in the layout of Tables 2–3.
+func RenderOverheadTable(r *ExperimentReport) string { return harness.RenderOverheadTable(r) }
+
+// RenderDriftTable prints residual-drift statistics in the layout of Table 4.
+func RenderDriftTable(reports []*ExperimentReport) string { return harness.RenderDriftTable(reports) }
+
+// RenderFigure prints the data series of Figures 2–3; failureFree selects
+// subfigure (a), otherwise (b).
+func RenderFigure(r *ExperimentReport, failureFree bool) string {
+	return harness.RenderFigure(r, failureFree)
+}
+
+// RenderFigureASCII draws the Figures 2–3 layout as a log-scale ASCII
+// scatter, mirroring the paper's plots.
+func RenderFigureASCII(r *ExperimentReport, failureFree bool) string {
+	return harness.RenderFigureASCII(r, failureFree)
+}
+
+// ExperimentSummary prints a compact headline comparison for a report.
+func ExperimentSummary(r *ExperimentReport) string { return harness.Summary(r) }
+
+// Checkpoint-interval planning (the Young/Daly models the paper cites).
+
+// IntervalAdvice holds the optimal-checkpoint-interval estimates of Young's
+// and Daly's models for one strategy's measured costs.
+type IntervalAdvice = ckptmodel.Advise
+
+// PlanCheckpointInterval evaluates Young's √(2δM) estimate and Daly's
+// higher-order refinement for a per-storage-stage cost delta, failure-free
+// per-iteration time iterTime, and machine mean-time-between-failures mtbf
+// (all in seconds — simulated or real, as long as they are consistent).
+func PlanCheckpointInterval(delta, iterTime, mtbf float64) (IntervalAdvice, error) {
+	return ckptmodel.Plan(delta, iterTime, mtbf)
+}
+
+// ExpectedRuntimeWithFailures returns Daly's expected-runtime model for a
+// job of failure-free length work, checkpoint cost delta, interval tau,
+// recovery cost restart, and exponential failures with the given mtbf.
+func ExpectedRuntimeWithFailures(work, delta, tau, restart, mtbf float64) float64 {
+	return ckptmodel.ExpectedRuntime(work, delta, tau, restart, mtbf)
+}

@@ -1,0 +1,123 @@
+// Failure rates: the paper's closing argument is that whether ESRP or IMCR
+// (and which interval T) is the right choice depends on how often the
+// machine fails. This example makes that concrete: it draws failure times
+// from a seeded exponential distribution for a range of machine MTBFs,
+// replays the solver against them, and reports the *expected* total runtime
+// per strategy and interval — alongside Daly's closed-form prediction of
+// the optimal interval from internal/ckptmodel.
+//
+// One failure event at most strikes per solve (the paper's framework
+// simulates exactly one event per run; with MTBF ≫ solve time the chance of
+// two is negligible).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"esrp"
+)
+
+func main() {
+	a := esrp.EmiliaLike(14, 14, 14, 7)
+	b := esrp.RHSOnes(a.Rows)
+	// φ = 3: redundancy with a measurable storage cost (at φ = 1 the banded
+	// product replicates nearly everything already, making δ ≈ 0).
+	const nodes, phi, trials = 12, 3, 40
+
+	ref, err := esrp.Solve(esrp.Config{A: a, B: b, Nodes: nodes})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := ref.SimTime
+	iterTime := t0 / float64(ref.Iterations)
+	fmt.Printf("reference: %d iterations, t0 = %.4g s simulated, %d nodes\n",
+		ref.Iterations, t0, nodes)
+
+	intervals := []int{5, 20, 50, 100}
+	for _, mtbfFactor := range []float64{0.8, 5, 50} {
+		mtbf := mtbfFactor * t0
+		fmt.Printf("\nMTBF = %.1f × solve time (failures are %s):\n",
+			mtbfFactor, regime(mtbfFactor))
+		fmt.Printf("%-14s", "strategy")
+		for _, t := range intervals {
+			fmt.Printf("  T=%-8d", t)
+		}
+		fmt.Println()
+
+		for _, strat := range []esrp.Strategy{esrp.StrategyESRP, esrp.StrategyIMCR} {
+			fmt.Printf("%-14v", strat)
+			for _, t := range intervals {
+				mean := expectedRuntime(a, b, nodes, strat, t, phi, mtbf, iterTime, trials)
+				fmt.Printf("  %8.2f%%", 100*(mean-t0)/t0)
+			}
+			fmt.Println()
+		}
+
+		// Daly's closed-form optimum for comparison: δ measured as the
+		// failure-free cost of one ESRP storage stage.
+		ff20, err := esrp.Solve(esrp.Config{
+			A: a, B: b, Nodes: nodes, Strategy: esrp.StrategyESRP, T: 20, Phi: phi,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		delta := (ff20.SimTime - t0) / float64(ref.Iterations/20)
+		if advice, err := esrp.PlanCheckpointInterval(math.Max(delta, 1e-12), iterTime, mtbf); err == nil {
+			fmt.Printf("Daly's optimal interval for this δ and MTBF: T* ≈ %d iterations\n", advice.DalyIters)
+		}
+	}
+
+	fmt.Println("\nExpected overhead over the failure-free reference, averaged across")
+	fmt.Println("seeded random failure times. Frequent failures favour small T (and")
+	fmt.Println("IMCR's cheap recovery); rare failures favour large T, where ESRP's")
+	fmt.Println("storage is almost free — the paper's concluding trade-off.")
+}
+
+func regime(f float64) string {
+	switch {
+	case f < 2:
+		return "frequent"
+	case f < 20:
+		return "occasional"
+	default:
+		return "rare"
+	}
+}
+
+// expectedRuntime replays the solver against `trials` seeded failure draws
+// and returns the mean simulated total runtime.
+func expectedRuntime(a *esrp.CSR, b []float64, nodes int, strat esrp.Strategy, t, phi int, mtbf, iterTime float64, trials int) float64 {
+	rng := rand.New(rand.NewSource(42))
+	cache := map[int]float64{} // failure iteration -> simulated time
+	var sum float64
+	for trial := 0; trial < trials; trial++ {
+		failTime := rng.ExpFloat64() * mtbf
+		failIter := int(failTime / iterTime)
+		key := failIter
+		if v, ok := cache[key]; ok {
+			sum += v
+			continue
+		}
+		cfg := esrp.Config{
+			A: a, B: b, Nodes: nodes,
+			Strategy: strat, T: t, Phi: phi,
+		}
+		if strat == esrp.StrategyESRP && t <= 2 {
+			cfg.Strategy = esrp.StrategyESR
+		}
+		cfg.Failure = &esrp.FailureSpec{Iteration: failIter, Ranks: []int{nodes / 2}}
+		res, err := esrp.Solve(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Converged {
+			log.Fatalf("%v T=%d: did not converge", strat, t)
+		}
+		cache[key] = res.SimTime
+		sum += res.SimTime
+	}
+	return sum / float64(trials)
+}

@@ -1,0 +1,96 @@
+package aspmv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"esrp/internal/dist"
+	"esrp/internal/matgen"
+)
+
+func TestAugmentNaiveRedundancyInvariant(t *testing.T) {
+	a := matgen.EmiliaLike(6, 6, 6, 5)
+	part := dist.NewBlockPartition(a.Rows, 8)
+	for _, phi := range []int{1, 2, 3} {
+		plan, err := NewPlan(a, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan.AugmentNaive(phi); err != nil {
+			t.Fatalf("AugmentNaive(%d): %v", phi, err)
+		}
+		if err := plan.VerifyRedundancy(phi); err != nil {
+			t.Fatalf("φ=%d: %v", phi, err)
+		}
+	}
+}
+
+func TestAugmentNaiveShipsAtLeastAsMuch(t *testing.T) {
+	// The naive scheme must never ship fewer resilient copies than the
+	// multiplicity-counted scheme, for any pattern and φ.
+	f := func(seed int64, bwRaw, phiRaw uint8) bool {
+		bw := 1 + int(bwRaw)%8
+		phi := 1 + int(phiRaw)%3
+		a := matgen.BandedSPD(240, bw, seed)
+		part := dist.NewBlockPartition(a.Rows, 6)
+		counted, err := NewPlan(a, part)
+		if err != nil {
+			return false
+		}
+		if err := counted.Augment(phi); err != nil {
+			return false
+		}
+		naive, err := NewPlan(a, part)
+		if err != nil {
+			return false
+		}
+		if err := naive.AugmentNaive(phi); err != nil {
+			return false
+		}
+		if err := naive.VerifyRedundancy(phi); err != nil {
+			return false
+		}
+		ce, _ := counted.ExtraTraffic()
+		ne, _ := naive.ExtraTraffic()
+		return ne >= ce
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAugmentNaiveRejectsBadPhi(t *testing.T) {
+	a := matgen.Poisson2D(8, 8)
+	part := dist.NewBlockPartition(a.Rows, 4)
+	plan, err := NewPlan(a, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.AugmentNaive(0); err == nil {
+		t.Error("φ=0 must be rejected")
+	}
+	if err := plan.AugmentNaive(4); err == nil {
+		t.Error("φ=n must be rejected")
+	}
+}
+
+func TestAugmentNaiveExchangeWorks(t *testing.T) {
+	// The exchanged product must be identical to the plain plan's, and the
+	// retained copy must cover the node's plain ghost entries plus the
+	// naive resilient copies.
+	a := matgen.Poisson2D(12, 12)
+	part := dist.NewBlockPartition(a.Rows, 4)
+	plan, err := NewPlan(a, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.AugmentNaive(2); err != nil {
+		t.Fatal(err)
+	}
+	holders := plan.Holders()
+	for i, hs := range holders {
+		if len(hs) < 3 {
+			t.Fatalf("entry %d has %d holders, want ≥ 3", i, len(hs))
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package ckptmodel implements the classical checkpoint-interval optimality
+// models the paper's Section 1 points to for choosing the interval T:
+// Young's first-order estimate [Young 1974, ref. 28 of the paper] and Daly's
+// higher-order refinement [Daly 2006, ref. 8], plus the expected-runtime
+// model that justifies them.
+//
+// The models trade the per-checkpoint cost δ against the expected rework
+// after a failure for a machine with mean time between failures M: small
+// intervals waste time checkpointing, large intervals waste time
+// recomputing. For ESRP, δ is the cost of one storage stage (two augmented
+// SpMVs plus the local duplications); for IMCR, δ is the cost of shipping
+// the four dynamic vectors to φ buddies.
+package ckptmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// YoungInterval returns Young's first-order optimal checkpoint interval
+// τ = √(2·δ·M) (seconds between checkpoint *starts* excluded; τ measures
+// useful work between checkpoints), for per-checkpoint cost δ and mean time
+// between failures M, both in seconds.
+func YoungInterval(delta, mtbf float64) float64 {
+	return math.Sqrt(2 * delta * mtbf)
+}
+
+// DalyInterval returns Daly's higher-order optimum
+//
+//	τ = √(2·δ·M)·[1 + ⅓·√(δ/(2M)) + (1/9)·(δ/(2M))] − δ   for δ < 2M
+//	τ = M                                                  otherwise
+//
+// which reduces to Young's estimate as δ/M → 0.
+func DalyInterval(delta, mtbf float64) float64 {
+	if delta >= 2*mtbf {
+		return mtbf
+	}
+	x := delta / (2 * mtbf)
+	return math.Sqrt(2*delta*mtbf)*(1+math.Sqrt(x)/3+x/9) - delta
+}
+
+// ExpectedRuntime returns the expected total runtime of a job with failure-
+// free work w, per-checkpoint cost δ, checkpoint interval τ (useful work
+// between checkpoints), restart/recovery cost r, and exponentially
+// distributed failures with MTBF M — Daly's complete model:
+//
+//	E = M·e^{r/M}·(e^{(τ+δ)/M} − 1)·w/τ
+//
+// It is minimized (over τ) near DalyInterval(δ, M).
+func ExpectedRuntime(work, delta, tau, restart, mtbf float64) float64 {
+	if tau <= 0 || mtbf <= 0 {
+		return math.Inf(1)
+	}
+	return mtbf * math.Exp(restart/mtbf) * (math.Expm1((tau + delta) / mtbf)) * work / tau
+}
+
+// IntervalIters converts a time-domain interval τ into a checkpointing
+// interval in solver iterations, given the failure-free per-iteration time.
+// The result is at least 1.
+func IntervalIters(tau, iterTime float64) int {
+	if iterTime <= 0 {
+		return 1
+	}
+	t := int(math.Round(tau / iterTime))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Advise bundles the model inputs and outputs for one strategy's planning.
+type Advise struct {
+	Delta    float64 // per-checkpoint (storage-stage) cost, seconds
+	IterTime float64 // failure-free per-iteration time, seconds
+	MTBF     float64 // mean time between failures, seconds
+
+	YoungTau   float64 // Young's τ, seconds
+	DalyTau    float64 // Daly's τ, seconds
+	YoungIters int     // Young's τ in iterations
+	DalyIters  int     // Daly's τ in iterations
+}
+
+// Plan evaluates both models for the given costs.
+func Plan(delta, iterTime, mtbf float64) (Advise, error) {
+	if delta < 0 || iterTime <= 0 || mtbf <= 0 {
+		return Advise{}, fmt.Errorf("ckptmodel: need delta ≥ 0, iterTime > 0, mtbf > 0 (got %g, %g, %g)",
+			delta, iterTime, mtbf)
+	}
+	a := Advise{Delta: delta, IterTime: iterTime, MTBF: mtbf}
+	a.YoungTau = YoungInterval(delta, mtbf)
+	a.DalyTau = DalyInterval(delta, mtbf)
+	a.YoungIters = IntervalIters(a.YoungTau, iterTime)
+	a.DalyIters = IntervalIters(a.DalyTau, iterTime)
+	return a, nil
+}

@@ -1,0 +1,105 @@
+package ckptmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestYoungIntervalKnownValues(t *testing.T) {
+	// δ = 50 s, MTBF = 1 h: τ = √(2·50·3600) = 600 s.
+	if got := YoungInterval(50, 3600); math.Abs(got-600) > 1e-9 {
+		t.Fatalf("YoungInterval(50, 3600) = %g, want 600", got)
+	}
+	if got := YoungInterval(0, 3600); got != 0 {
+		t.Fatalf("zero checkpoint cost should give zero interval, got %g", got)
+	}
+}
+
+func TestDalyReducesToYoungForSmallDelta(t *testing.T) {
+	// As δ/M → 0, Daly ≈ Young.
+	for _, mtbf := range []float64{3600, 9 * 3600} {
+		delta := 1e-4 * mtbf
+		y := YoungInterval(delta, mtbf)
+		d := DalyInterval(delta, mtbf)
+		if rel := math.Abs(d-y) / y; rel > 0.02 {
+			t.Fatalf("Daly %g vs Young %g differ by %.2f%% for tiny δ", d, y, 100*rel)
+		}
+	}
+}
+
+func TestDalyLargeDeltaClamp(t *testing.T) {
+	if got := DalyInterval(3*3600, 3600); got != 3600 {
+		t.Fatalf("DalyInterval with δ ≥ 2M must clamp to M, got %g", got)
+	}
+}
+
+func TestExpectedRuntimeMinimizedNearDaly(t *testing.T) {
+	// The full expected-runtime model must be (near-)minimal at Daly's τ:
+	// scan a grid of intervals and verify no grid point beats Daly's τ by
+	// more than 1%.
+	work, delta, restart, mtbf := 10*3600.0, 60.0, 120.0, 6*3600.0
+	tauOpt := DalyInterval(delta, mtbf)
+	best := ExpectedRuntime(work, delta, tauOpt, restart, mtbf)
+	for tau := tauOpt / 10; tau < tauOpt*10; tau *= 1.1 {
+		if e := ExpectedRuntime(work, delta, tau, restart, mtbf); e < best*0.99 {
+			t.Fatalf("τ=%g gives E=%g, beating Daly τ=%g (E=%g) by >1%%", tau, e, tauOpt, best)
+		}
+	}
+}
+
+func TestExpectedRuntimeDegenerate(t *testing.T) {
+	if !math.IsInf(ExpectedRuntime(1, 1, 0, 0, 100), 1) {
+		t.Fatal("zero interval must be infinitely expensive")
+	}
+	if !math.IsInf(ExpectedRuntime(1, 1, 1, 0, 0), 1) {
+		t.Fatal("zero MTBF must be infinitely expensive")
+	}
+}
+
+func TestIntervalIters(t *testing.T) {
+	if got := IntervalIters(600, 1.5); got != 400 {
+		t.Fatalf("IntervalIters(600, 1.5) = %d, want 400", got)
+	}
+	if got := IntervalIters(0.1, 1.5); got != 1 {
+		t.Fatalf("tiny τ must clamp to 1 iteration, got %d", got)
+	}
+	if got := IntervalIters(100, 0); got != 1 {
+		t.Fatalf("degenerate iterTime must clamp to 1, got %d", got)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	if _, err := Plan(-1, 1, 1); err == nil {
+		t.Error("negative delta must error")
+	}
+	if _, err := Plan(1, 0, 1); err == nil {
+		t.Error("zero iterTime must error")
+	}
+	if _, err := Plan(1, 1, 0); err == nil {
+		t.Error("zero mtbf must error")
+	}
+	a, err := Plan(50, 0.5, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.YoungIters != 1200 {
+		t.Fatalf("YoungIters = %d, want 1200 (600 s / 0.5 s)", a.YoungIters)
+	}
+	if a.DalyIters <= 0 {
+		t.Fatalf("DalyIters = %d", a.DalyIters)
+	}
+}
+
+func TestYoungMonotonicProperty(t *testing.T) {
+	// τ grows with both δ and MTBF.
+	f := func(d1, d2, m uint16) bool {
+		da, db := float64(d1)+1, float64(d1)+float64(d2)+2
+		mtbf := float64(m) + 1
+		return YoungInterval(da, mtbf) < YoungInterval(db, mtbf) &&
+			YoungInterval(da, mtbf) < YoungInterval(da, 2*mtbf)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,397 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func testModel() CostModel {
+	return CostModel{FlopTime: 1e-9, Latency: 1e-6, BytePeriod: 1e-9, Overhead: 1e-7}
+}
+
+func TestRankSize(t *testing.T) {
+	c := New(4, testModel())
+	var seen [4]int32
+	err := c.Run(func(nd *Node) {
+		if nd.Size() != 4 {
+			panic(fmt.Sprintf("Size = %d", nd.Size()))
+		}
+		atomic.AddInt32(&seen[nd.Rank()], 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, n := range seen {
+		if n != 1 {
+			t.Fatalf("rank %d ran %d times", r, n)
+		}
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	c := New(2, testModel())
+	err := c.Run(func(nd *Node) {
+		if nd.Rank() == 0 {
+			nd.Send(1, 7, []float64{1, 2, 3})
+		} else {
+			got := nd.Recv(0, 7)
+			if len(got) != 3 || got[2] != 3 {
+				panic(fmt.Sprintf("Recv got %v", got))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	c := New(2, testModel())
+	err := c.Run(func(nd *Node) {
+		if nd.Rank() == 0 {
+			buf := []float64{42}
+			nd.Send(1, 1, buf) // Send copies synchronously...
+			buf[0] = 0         // ...so this mutation must not reach the receiver.
+		} else {
+			if got := nd.Recv(0, 1); got[0] != 42 {
+				panic(fmt.Sprintf("payload mutated: %v", got))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendFIRecvFI(t *testing.T) {
+	c := New(2, testModel())
+	err := c.Run(func(nd *Node) {
+		if nd.Rank() == 0 {
+			nd.SendFI(1, 3, []float64{1.5}, []int{10, 20})
+		} else {
+			f, i := nd.RecvFI(0, 3)
+			if f[0] != 1.5 || i[1] != 20 {
+				panic(fmt.Sprintf("RecvFI got %v %v", f, i))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMismatchPanicsIntoError(t *testing.T) {
+	c := New(2, testModel())
+	err := c.Run(func(nd *Node) {
+		if nd.Rank() == 0 {
+			nd.Send(1, 1, nil)
+		} else {
+			nd.Recv(0, 2) // wrong tag
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "expected tag") {
+		t.Fatalf("err = %v, want tag mismatch", err)
+	}
+}
+
+func TestNodePanicPropagates(t *testing.T) {
+	c := New(3, testModel())
+	err := c.Run(func(nd *Node) {
+		if nd.Rank() == 1 {
+			panic("boom")
+		}
+		// Other nodes block on a message that never arrives; the abort must
+		// unwind them.
+		nd.Recv((nd.Rank()+1)%3, 5)
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16} {
+		c := New(n, testModel())
+		err := c.Run(func(nd *Node) {
+			x := []float64{float64(nd.Rank()), 1}
+			nd.Allreduce(OpSum, x)
+			wantSum := float64(n*(n-1)) / 2
+			if x[0] != wantSum || x[1] != float64(n) {
+				panic(fmt.Sprintf("n=%d rank=%d allreduce got %v", n, nd.Rank(), x))
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	c := New(4, testModel())
+	err := c.Run(func(nd *Node) {
+		if got := nd.AllreduceScalar(OpMax, float64(nd.Rank())); got != 3 {
+			panic(fmt.Sprintf("max got %g", got))
+		}
+		if got := nd.AllreduceScalar(OpMin, float64(nd.Rank())); got != 0 {
+			panic(fmt.Sprintf("min got %g", got))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceDeterministicOrder(t *testing.T) {
+	// Floating-point sums depend on order; the contract is ascending rank
+	// order at rank 0. Values chosen so that a different order changes the
+	// result: x_s = 1e16 for rank 0, 1.0 otherwise.
+	run := func() float64 {
+		c := New(8, testModel())
+		var out float64
+		err := c.Run(func(nd *Node) {
+			v := 1.0
+			if nd.Rank() == 0 {
+				v = 1e16
+			}
+			got := nd.AllreduceScalar(OpSum, v)
+			if nd.Rank() == 0 {
+				out = got
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("allreduce not deterministic: %g vs %g", got, first)
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	c := New(5, testModel())
+	err := c.Run(func(nd *Node) {
+		data := make([]float64, 3)
+		if nd.Rank() == 2 {
+			data = []float64{7, 8, 9}
+		}
+		nd.Bcast(2, data)
+		if data[0] != 7 || data[2] != 9 {
+			panic(fmt.Sprintf("rank %d bcast got %v", nd.Rank(), data))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	c := New(4, testModel())
+	err := c.Run(func(nd *Node) {
+		parts := nd.Gather(0, []float64{float64(nd.Rank()), float64(nd.Rank() * 10)})
+		if nd.Rank() == 0 {
+			if len(parts) != 4 {
+				panic("wrong part count")
+			}
+			for s, p := range parts {
+				if p[0] != float64(s) || p[1] != float64(10*s) {
+					panic(fmt.Sprintf("part %d = %v", s, p))
+				}
+			}
+		} else if parts != nil {
+			panic("non-root must get nil")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierCompletes(t *testing.T) {
+	c := New(8, testModel())
+	err := c.Run(func(nd *Node) {
+		for i := 0; i < 10; i++ {
+			nd.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubCommunicator(t *testing.T) {
+	c := New(6, testModel())
+	err := c.Run(func(nd *Node) {
+		sub := nd.Sub([]int{1, 3, 4})
+		switch nd.GlobalRank() {
+		case 1, 3, 4:
+			if sub == nil {
+				panic("member got nil sub")
+			}
+			if sub.Size() != 3 {
+				panic(fmt.Sprintf("sub size %d", sub.Size()))
+			}
+			wantRank := map[int]int{1: 0, 3: 1, 4: 2}[nd.GlobalRank()]
+			if sub.Rank() != wantRank {
+				panic(fmt.Sprintf("sub rank %d, want %d", sub.Rank(), wantRank))
+			}
+			sum := sub.AllreduceScalar(OpSum, float64(nd.GlobalRank()))
+			if sum != 8 {
+				panic(fmt.Sprintf("sub allreduce %g, want 8", sum))
+			}
+			// Point-to-point within the sub view uses sub ranks.
+			if sub.Rank() == 0 {
+				sub.Send(2, 9, []float64{5})
+			} else if sub.Rank() == 2 {
+				if got := sub.Recv(0, 9); got[0] != 5 {
+					panic("sub send/recv failed")
+				}
+			}
+		default:
+			if sub != nil {
+				panic("non-member got non-nil sub")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubSharesClock(t *testing.T) {
+	c := New(4, testModel())
+	err := c.Run(func(nd *Node) {
+		sub := nd.Sub([]int{0, 1, 2, 3})
+		sub.Compute(1e6)
+		if nd.Clock() != sub.Clock() || nd.Clock() <= 0 {
+			panic("sub must share the node clock")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulatedClockAdvances(t *testing.T) {
+	m := testModel()
+	c := New(2, m)
+	err := c.Run(func(nd *Node) {
+		if nd.Rank() == 0 {
+			nd.Compute(1000)
+			nd.Send(1, 1, make([]float64, 100))
+		} else {
+			nd.Recv(0, 1)
+			// Arrival ≥ sender compute + latency + 800 bytes serialization.
+			min := 1000*m.FlopTime + m.Latency + 800*m.BytePeriod
+			if nd.Clock() < min {
+				panic(fmt.Sprintf("receiver clock %g < %g", nd.Clock(), min))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxClock() <= 0 {
+		t.Fatal("MaxClock must be positive")
+	}
+}
+
+func TestClockDeterminism(t *testing.T) {
+	run := func() float64 {
+		c := New(8, testModel())
+		err := c.Run(func(nd *Node) {
+			for i := 0; i < 20; i++ {
+				nd.Compute(float64(100 * (nd.Rank() + 1)))
+				nd.AllreduceScalar(OpSum, 1)
+				if nd.Rank() == 0 {
+					nd.Send(7, 1, make([]float64, 10))
+				}
+				if nd.Rank() == 7 {
+					nd.Recv(0, 1)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.MaxClock()
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("modeled time not deterministic: %g vs %g", got, first)
+		}
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := New(2, testModel())
+	err := c.Run(func(nd *Node) {
+		if nd.Rank() == 0 {
+			nd.Send(1, 1, make([]float64, 4)) // 32 bytes
+		} else {
+			nd.Recv(0, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BytesSent() != 32 {
+		t.Fatalf("BytesSent = %d, want 32", c.BytesSent())
+	}
+	if c.MsgsSent() != 1 {
+		t.Fatalf("MsgsSent = %d, want 1", c.MsgsSent())
+	}
+}
+
+func TestAddClockAndSyncClock(t *testing.T) {
+	c := New(1, testModel())
+	err := c.Run(func(nd *Node) {
+		nd.AddClock(1.5)
+		nd.SyncClock(1.0) // no-op, behind
+		if nd.Clock() != 1.5 {
+			panic("SyncClock must not rewind")
+		}
+		nd.SyncClock(2.0)
+		if nd.Clock() != 2.0 {
+			panic("SyncClock must raise")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveCostScalesWithLogN(t *testing.T) {
+	timeFor := func(n int) float64 {
+		c := New(n, testModel())
+		if err := c.Run(func(nd *Node) { nd.Barrier() }); err != nil {
+			t.Fatal(err)
+		}
+		return c.MaxClock()
+	}
+	t4, t64 := timeFor(4), timeFor(64)
+	if t64 <= t4 {
+		t.Fatalf("64-node barrier (%g) should cost more than 4-node (%g)", t64, t4)
+	}
+	ratio := t64 / t4
+	if math.Abs(ratio-3) > 0.75 { // log2(64)/log2(4) = 3
+		t.Fatalf("cost ratio %g, want ≈ 3", ratio)
+	}
+}
+
+func TestDefaultCostModelSane(t *testing.T) {
+	m := DefaultCostModel()
+	if m.FlopTime <= 0 || m.Latency <= 0 || m.BytePeriod <= 0 || m.Overhead < 0 {
+		t.Fatalf("degenerate default model: %+v", m)
+	}
+	if m.Latency < m.Overhead {
+		t.Fatal("latency should dominate per-message overhead")
+	}
+}

@@ -1,0 +1,278 @@
+// Package core implements the paper's primary contribution: the distributed
+// preconditioned conjugate gradient solver (Alg. 1) with pluggable
+// node-failure resilience — ESR (exact state reconstruction, redundant
+// storage every iteration), ESRP (ESR with periodic storage every T
+// iterations, Alg. 3, the paper's new method), and IMCR (in-memory buddy
+// checkpoint-restart, the baseline) — including the exact state
+// reconstruction procedure of Alg. 2 run on replacement nodes after an
+// injected node failure.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"esrp/internal/cluster"
+	"esrp/internal/precond"
+	"esrp/internal/sparse"
+)
+
+// Strategy selects the resilience scheme of a solve.
+type Strategy int
+
+// Available strategies.
+const (
+	// StrategyNone runs plain PCG with no redundancy. If a failure is
+	// injected, the solver performs a "local restart": lost entries are
+	// zeroed and r, z, p are re-initialized from the surviving iterand —
+	// the costly scenario that motivates ESR (cf. [Pachajoa & Gansterer
+	// 2017], cited as [19] in the paper).
+	StrategyNone Strategy = iota
+	// StrategyESR stores redundant copies in every iteration (T = 1).
+	StrategyESR
+	// StrategyESRP stores redundant copies in two consecutive iterations
+	// every T iterations (the paper's contribution, Alg. 3).
+	StrategyESRP
+	// StrategyIMCR checkpoints all dynamic vectors to φ buddy nodes every T
+	// iterations.
+	StrategyIMCR
+)
+
+// String returns the paper's name for the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNone:
+		return "none"
+	case StrategyESR:
+		return "ESR"
+	case StrategyESRP:
+		return "ESRP"
+	case StrategyIMCR:
+		return "IMCR"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy converts a name to a Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "none", "reference", "pcg":
+		return StrategyNone, nil
+	case "esr", "ESR":
+		return StrategyESR, nil
+	case "esrp", "ESRP":
+		return StrategyESRP, nil
+	case "imcr", "IMCR", "cr":
+		return StrategyIMCR, nil
+	}
+	return StrategyNone, fmt.Errorf("core: unknown strategy %q", s)
+}
+
+// FailureSpec describes one injected node-failure event, mirroring the
+// paper's framework: the ranks of the affected nodes and the iteration at
+// which they fail are passed as parameters; at that iteration the nodes
+// zero out all their dynamic data and act as their own replacements.
+type FailureSpec struct {
+	// Iteration at which the failure strikes. The failure is injected
+	// immediately after the SpMV communication of this iteration, the point
+	// at which redundant copies for the iteration (if any) have been pushed.
+	Iteration int
+	// Ranks lists the failed nodes (ascending). The paper uses contiguous
+	// blocks; ESR/ESRP recovery requires contiguity of the lost index range
+	// only for the inner-system extraction, and this implementation checks
+	// and enforces it.
+	Ranks []int
+}
+
+// Config describes one solve.
+type Config struct {
+	A  *sparse.CSR // sparse SPD system matrix (shared, read-only)
+	B  []float64   // right-hand side, length A.Rows
+	X0 []float64   // initial guess (nil = zero vector)
+
+	Nodes int // number of simulated cluster nodes
+
+	Rtol    float64 // convergence: ‖r‖₂/‖b‖₂ < Rtol (paper: 1e-8)
+	MaxIter int     // iteration cap (0 = 10·M)
+
+	PrecondKind precond.Kind // paper: block Jacobi
+	MaxBlock    int          // block Jacobi maximum block size (paper: 10)
+
+	Strategy Strategy
+	T        int // checkpointing interval (ignored for None/ESR)
+	Phi      int // redundancy copies / supported simultaneous failures
+
+	InnerRtol    float64 // reconstruction inner-solve tolerance (paper: 1e-14)
+	InnerMaxIter int     // inner-solve iteration cap (0 = 100·|If|)
+
+	Failure *FailureSpec // nil = failure-free run
+
+	CostModel *cluster.CostModel // nil = cluster.DefaultCostModel()
+
+	// GatherInnerSolve switches the reconstruction inner solve (Alg. 2
+	// line 8) from a distributed PCG across all replacement nodes to a
+	// gather-to-one-node sequential solve (an ablation of the design choice).
+	GatherInnerSolve bool
+
+	// NaiveAugment replaces the paper's multiplicity-counted resilient-copy
+	// sets Rc_{s,k} with the naive scheme that ships each node's whole block
+	// to all φ designated destinations (an ablation of Section 2.2.1's
+	// optimization; ESR/ESRP only).
+	NaiveAugment bool
+
+	// NoSpareNodes switches ESR/ESRP recovery to the spare-free variant of
+	// [Pachajoa, Pacher, Gansterer 2019] (ref. 22 of the paper): failed
+	// nodes are not replaced; a surviving node adjacent to the failed block
+	// adopts its rows, the exact state is reconstructed there, and the
+	// solve continues on the shrunken cluster with the identical
+	// preconditioner operator (so the trajectory is preserved).
+	NoSpareNodes bool
+
+	// DetectionTime adds a fixed simulated cost (seconds) to every node's
+	// clock when a failure strikes, standing in for the middleware tasks
+	// the paper's framework leaves unmodeled (Section 4: detecting the
+	// failure, identifying the lost ranks, re-establishing the
+	// communicator, e.g. via ULFM). The paper argues this cost is
+	// comparable across strategies; the knob lets users include it.
+	DetectionTime float64
+
+	// BalanceNNZ switches the block row distribution from uniform row
+	// counts to contiguous ranges of balanced nonzero counts (see
+	// dist.NewBalancedWeightPartition) — the paper's future-work question
+	// of SpMV-optimizing partitioning strategies. All resilience machinery
+	// works unchanged: it only requires contiguous ownership.
+	BalanceNNZ bool
+
+	// ResidualReplacementInterval R > 0 replaces the recurrence residual
+	// with the true residual b − A·x every R productive iterations (van der
+	// Vorst & Ye, ref. 27 of the paper), curbing the residual drift that
+	// Table 4 measures, at the cost of one extra SpMV per replacement. The
+	// replacement happens before z, β and p are computed, so the search
+	// direction recurrence p = z + β·p_prev — and with it the exact state
+	// reconstruction — remains valid. 0 disables replacement.
+	ResidualReplacementInterval int
+
+	// RecordResiduals appends the relative residual of every productive
+	// iteration to Result.Residuals (costs memory, intended for examples
+	// and tests).
+	RecordResiduals bool
+}
+
+// withDefaults returns a copy of cfg with defaults applied, or an error if
+// the configuration is invalid.
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.A == nil {
+		return cfg, fmt.Errorf("core: missing matrix")
+	}
+	if cfg.A.Rows != cfg.A.Cols {
+		return cfg, fmt.Errorf("core: matrix must be square, got %dx%d", cfg.A.Rows, cfg.A.Cols)
+	}
+	if len(cfg.B) != cfg.A.Rows {
+		return cfg, fmt.Errorf("core: rhs length %d != matrix size %d", len(cfg.B), cfg.A.Rows)
+	}
+	if cfg.X0 != nil && len(cfg.X0) != cfg.A.Rows {
+		return cfg, fmt.Errorf("core: x0 length %d != matrix size %d", len(cfg.X0), cfg.A.Rows)
+	}
+	if cfg.Nodes <= 0 {
+		return cfg, fmt.Errorf("core: node count must be positive, got %d", cfg.Nodes)
+	}
+	if cfg.Nodes > cfg.A.Rows {
+		return cfg, fmt.Errorf("core: more nodes (%d) than rows (%d)", cfg.Nodes, cfg.A.Rows)
+	}
+	if cfg.Rtol <= 0 {
+		cfg.Rtol = 1e-8
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 10 * cfg.A.Rows
+	}
+	if cfg.MaxBlock <= 0 {
+		cfg.MaxBlock = 10
+	}
+	if cfg.PrecondKind == precond.Default {
+		cfg.PrecondKind = precond.BlockJacobi // the paper's choice
+	}
+	if cfg.InnerRtol <= 0 {
+		cfg.InnerRtol = 1e-14
+	}
+	switch cfg.Strategy {
+	case StrategyNone:
+	case StrategyESR:
+		cfg.T = 1
+		if cfg.Phi <= 0 {
+			cfg.Phi = 1
+		}
+	case StrategyESRP:
+		if cfg.T <= 2 {
+			return cfg, fmt.Errorf("core: ESRP requires T > 2 (use StrategyESR for T ≤ 2), got %d", cfg.T)
+		}
+		if cfg.Phi <= 0 {
+			cfg.Phi = 1
+		}
+	case StrategyIMCR:
+		if cfg.T <= 0 {
+			return cfg, fmt.Errorf("core: IMCR requires T ≥ 1, got %d", cfg.T)
+		}
+		if cfg.Phi <= 0 {
+			cfg.Phi = 1
+		}
+	default:
+		return cfg, fmt.Errorf("core: unknown strategy %d", int(cfg.Strategy))
+	}
+	if cfg.Phi > 0 && cfg.Phi > cfg.Nodes-1 {
+		return cfg, fmt.Errorf("core: phi=%d requires at least %d nodes, have %d", cfg.Phi, cfg.Phi+1, cfg.Nodes)
+	}
+	if cfg.NoSpareNodes {
+		if cfg.Strategy != StrategyESR && cfg.Strategy != StrategyESRP {
+			return cfg, fmt.Errorf("core: NoSpareNodes requires ESR or ESRP, got %v", cfg.Strategy)
+		}
+	}
+	if f := cfg.Failure; f != nil {
+		if len(f.Ranks) == 0 {
+			return cfg, fmt.Errorf("core: failure spec without ranks")
+		}
+		for i, r := range f.Ranks {
+			if r < 0 || r >= cfg.Nodes {
+				return cfg, fmt.Errorf("core: failed rank %d out of range [0,%d)", r, cfg.Nodes)
+			}
+			if i > 0 && f.Ranks[i] != f.Ranks[i-1]+1 {
+				return cfg, fmt.Errorf("core: failed ranks must be a contiguous ascending block, got %v", f.Ranks)
+			}
+		}
+		if cfg.Strategy != StrategyNone && len(f.Ranks) > cfg.Phi {
+			return cfg, fmt.Errorf("core: %d simultaneous failures exceed redundancy phi=%d", len(f.Ranks), cfg.Phi)
+		}
+		if len(f.Ranks) >= cfg.Nodes {
+			return cfg, fmt.Errorf("core: all nodes failing is unrecoverable")
+		}
+		if f.Iteration < 0 {
+			return cfg, fmt.Errorf("core: failure iteration must be ≥ 0, got %d", f.Iteration)
+		}
+	}
+	return cfg, nil
+}
+
+// Result reports the outcome of a solve.
+type Result struct {
+	X []float64 // converged iterand (global, gathered)
+
+	Converged   bool
+	Iterations  int     // trajectory length: PCG iterations along the final trajectory
+	TotalSteps  int     // loop iterations executed, including rolled-back work
+	RelResidual float64 // final ‖r‖₂/‖b‖₂ (recurrence residual)
+
+	SimTime      float64       // modeled runtime: max simulated clock over nodes (seconds)
+	WallTime     time.Duration // host wall-clock of the simulated run
+	RecoveryTime float64       // modeled time of gathers + reconstruction (0 if no failure)
+	WastedIters  int           // iterations discarded by the rollback (0 if no failure)
+
+	Recovered   bool    // a failure was injected and recovery succeeded
+	RecoveredAt int     // the iteration the solver rolled back to
+	Drift       float64 // residual drift, Eq. 2 of the paper
+	ActiveNodes int     // nodes still iterating at the end (< Nodes after a no-spare recovery)
+
+	BytesSent int64 // total point-to-point payload volume
+	MsgsSent  int64
+
+	Residuals []float64 // per-iteration ‖r‖/‖b‖ if RecordResiduals
+}

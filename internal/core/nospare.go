@@ -1,0 +1,376 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"esrp/internal/aspmv"
+	"esrp/internal/cluster"
+	"esrp/internal/dist"
+	"esrp/internal/precond"
+)
+
+// recoverNoSpare implements the spare-free ESR/ESRP recovery of [Pachajoa,
+// Pacher, Gansterer 2019] (ref. 22 of the paper): failed nodes are not
+// replaced. The surviving node adjacent to the contiguous failed rank block
+// adopts the failed rows, the exact pre-failure state is reconstructed
+// there from the redundant copies, and the solve continues on the shrunken
+// cluster. The adopter applies the failed nodes' original preconditioner
+// blocks (a precond.Composite), so the solver stays on the reference
+// trajectory despite the repartitioning.
+//
+// Failed nodes lose their state and retire; the function returns the
+// iteration the survivors resume from.
+func (run *nodeRun) recoverNoSpare(j int) int {
+	st, _ := run.res.(*esrState)
+	failed := run.cfg.Failure.Ranks
+	n := run.cfg.Nodes
+	flo, fhi := run.part.RangeOfParts(failed[0], failed[len(failed)-1]+1)
+	fsize := fhi - flo
+
+	if run.amFailed() {
+		run.loseDynamicState()
+		run.retired = true
+		return j
+	}
+	t0 := run.nd.Clock()
+
+	survivors := make([]int, 0, n-len(failed))
+	for s := 0; s < n; s++ {
+		if !rankIsFailed(failed, s) {
+			survivors = append(survivors, s)
+		}
+	}
+	sub := run.nd.Sub(survivors)
+	adopter := adopterRank(failed, n)
+	me := run.nd.Rank()
+
+	// Roll surviving nodes back to the last completed storage stage.
+	if st.t > 1 && st.hasStars {
+		copy(run.x, st.xs)
+		copy(run.r, st.rs)
+		copy(run.z, st.zs)
+		copy(run.p, st.ps)
+	}
+
+	// The lowest surviving rank (sub rank 0) announces the reconstruction
+	// iteration and β*.
+	var hdr [3]float64
+	if sub.Rank() == 0 {
+		if st.t == 1 && j >= 1 {
+			hdr = [3]float64{float64(j), run.betaPrev, 1}
+		} else if st.t > 1 && st.hasStars {
+			hdr = [3]float64{float64(st.starsIter), st.betaStar, 1}
+		}
+	}
+	sub.Bcast(0, hdr[:])
+	jrec, betaStar, recoverable := int(hdr[0]), hdr[1], hdr[2] != 0
+
+	if !recoverable {
+		// Nothing to reconstruct from: repartition with the lost block
+		// zeroed and restart the Krylov process from the surviving iterand.
+		run.shrinkTo(sub, survivors, adopter, flo, fhi, nil, nil, nil, nil, jrec, betaStar)
+		run.initFromX()
+		run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
+		return j
+	}
+
+	// Gather the redundant copies p′^(jrec−1), p′^(jrec) of the failed
+	// range at the adopter.
+	var pPrev, pCur []float64
+	covered := make([]int, fsize)
+	if me == adopter {
+		pPrev = make([]float64, fsize)
+		pCur = make([]float64, fsize)
+	}
+	for pass, tag := range []int{tagRecoverP0, tagRecoverP1} {
+		iter := jrec - 1 + pass
+		c := st.queue.Get(iter)
+		dst := pPrev
+		if pass == 1 {
+			dst = pCur
+		}
+		for _, fr := range failed {
+			if me != adopter && run.holdsEntriesOf(fr) {
+				var idx []int
+				var val []float64
+				if c != nil {
+					idx, val = c.Lookup(run.part.Lo(fr), run.part.Hi(fr))
+				}
+				run.nd.SendFI(adopter, tag, val, idx)
+			}
+		}
+		if me == adopter {
+			// Local copies first (the adopter may itself hold entries).
+			if c != nil {
+				idx, val := c.Lookup(flo, fhi)
+				for k, gi := range idx {
+					dst[gi-flo] = val[k]
+					covered[gi-flo] |= 1 << pass
+				}
+			}
+			for _, fr := range failed {
+				for _, s := range run.survivingHoldersOf(fr, failed) {
+					if s == adopter {
+						continue
+					}
+					val, idx := run.nd.RecvFI(s, tag)
+					for k, gi := range idx {
+						dst[gi-flo] = val[k]
+						covered[gi-flo] |= 1 << pass
+					}
+				}
+			}
+		}
+	}
+	if me == adopter {
+		for i, cvr := range covered {
+			if cvr != 3 {
+				panic(fmt.Sprintf("core: entry %d of failed range not covered by redundant copies (mask %d)",
+					flo+i, cvr))
+			}
+		}
+	}
+
+	// Halo of the surviving iterand x for Alg. 2 line 7, collected at the
+	// adopter into a full-length buffer.
+	xHalo := run.gatherXHalo(failed, adopter)
+
+	// Exact state reconstruction of the failed range, local to the adopter.
+	var rIf, zIf, xIf []float64
+	if me == adopter {
+		failedPC, err := run.failedRangePC(failed)
+		if err != nil {
+			panic(fmt.Sprintf("core: rebuilding failed nodes' preconditioner: %v", err))
+		}
+		zIf = make([]float64, fsize)
+		for i := range zIf {
+			zIf[i] = pCur[i] - betaStar*pPrev[i]
+		}
+		run.nd.Compute(2 * float64(fsize))
+		rIf = make([]float64, fsize)
+		failedPC.SolveRestricted(rIf, zIf)
+		run.nd.Compute(failedPC.SolveRestrictedFlops())
+		w := make([]float64, fsize)
+		var nnzf float64
+		for i := flo; i < fhi; i++ {
+			cols, vals := run.cfg.A.Row(i)
+			var s float64
+			for k, c := range cols {
+				if c < flo || c >= fhi {
+					s += vals[k] * xHalo[c]
+				}
+			}
+			w[i-flo] = run.cfg.B[i] - rIf[i-flo] - s
+			nnzf += float64(len(cols))
+		}
+		run.nd.Compute(2 * nnzf)
+		xIf = run.innerSolveLocal(flo, fhi, w, failedPC)
+	}
+
+	// Repartition onto the survivors and continue.
+	run.shrinkTo(sub, survivors, adopter, flo, fhi, xIf, rIf, zIf, pCur, jrec, betaStar)
+	run.restoreScalars(betaStar, st)
+	run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
+	return jrec
+}
+
+// adopterRank returns the surviving rank that adopts the failed block: the
+// first survivor after the block, or the last one before it when the block
+// reaches the top rank.
+func adopterRank(failed []int, n int) int {
+	if failed[len(failed)-1] < n-1 {
+		return failed[len(failed)-1] + 1
+	}
+	return failed[0] - 1
+}
+
+// gatherXHalo collects, at the adopter, the surviving iterand entries that
+// the failed rows couple to, into a full-length (zero-filled) buffer.
+func (run *nodeRun) gatherXHalo(failed []int, adopter int) []float64 {
+	me := run.nd.Rank()
+	var xHalo []float64
+	if me == adopter {
+		xHalo = make([]float64, run.cfg.A.Rows)
+	}
+	for _, fr := range failed {
+		for _, t := range run.plan.Recv[fr] {
+			if rankIsFailed(failed, t.Peer) {
+				continue // unknowns of the inner system, not data
+			}
+			switch {
+			case t.Peer == me && me == adopter:
+				for _, gi := range t.Idx {
+					xHalo[gi] = run.x[gi-run.lo]
+				}
+			case t.Peer == me:
+				buf := make([]float64, len(t.Idx))
+				for k, gi := range t.Idx {
+					buf[k] = run.x[gi-run.lo]
+				}
+				run.nd.Send(adopter, tagRecoverX, buf)
+			case me == adopter:
+				vals := run.nd.Recv(t.Peer, tagRecoverX)
+				for k, gi := range t.Idx {
+					xHalo[gi] = vals[k]
+				}
+			}
+		}
+	}
+	return xHalo
+}
+
+// failedRangePC rebuilds the failed nodes' preconditioner segments (from
+// static data) as one composite covering [flo,fhi) in rank order.
+func (run *nodeRun) failedRangePC(failed []int) (*precond.Composite, error) {
+	parts := make([]precond.Preconditioner, 0, len(failed))
+	sizes := make([]int, 0, len(failed))
+	for _, fr := range failed {
+		lo, hi := run.part.Lo(fr), run.part.Hi(fr)
+		pc, err := precond.Build(run.cfg.PrecondKind, run.cfg.A, lo, hi, run.cfg.MaxBlock)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, pc)
+		sizes = append(sizes, hi-lo)
+	}
+	return precond.NewComposite(parts, sizes)
+}
+
+// innerSolveLocal solves A[If,If]·x = w sequentially on this node (the
+// adopter), preconditioned with the failed nodes' own blocks.
+func (run *nodeRun) innerSolveLocal(flo, fhi int, w []float64, pc precond.Preconditioner) []float64 {
+	asub := run.cfg.A.SubRange(flo, fhi, flo, fhi)
+	seqPart := dist.NewBlockPartition(asub.Rows, 1)
+	seqPlan, err := aspmv.NewPlan(asub, seqPart)
+	if err != nil {
+		panic(fmt.Sprintf("core: no-spare inner plan: %v", err))
+	}
+	maxIter := run.cfg.InnerMaxIter
+	if maxIter <= 0 {
+		maxIter = 100 * asub.Rows
+	}
+	solo := run.nd.Sub([]int{run.nd.GlobalRank()})
+	return innerPCG(solo, asub, seqPlan, seqPart, pc, w, run.cfg.InnerRtol, maxIter)
+}
+
+// shrinkTo repartitions the solve onto the survivors: the adopter's range
+// absorbs the failed block (reconstructed vectors xIf, rIf, zIf, pIf; nil
+// in the non-recoverable fallback, leaving zeros), every survivor switches
+// to the sub-communicator and the new plan, and the redundancy machinery is
+// re-established for the shrunken cluster.
+func (run *nodeRun) shrinkTo(sub *cluster.Node, survivors []int, adopter, flo, fhi int,
+	xIf, rIf, zIf, pIf []float64, jrec int, betaStar float64) {
+	me := run.nd.Rank()
+	amAdopter := me == adopter
+
+	// New partition: survivors keep their ranges; the gap left by the
+	// failed block is absorbed by the next survivor (or the previous one
+	// when the block is at the top).
+	offsets := make([]int, len(survivors)+1)
+	for i, s := range survivors {
+		offsets[i+1] = run.part.Hi(s)
+	}
+	offsets[len(survivors)] = run.cfg.A.Rows
+	newPart, err := dist.FromOffsets(offsets)
+	if err != nil {
+		panic(fmt.Sprintf("core: no-spare partition: %v", err))
+	}
+
+	newPlan, err := aspmv.NewPlan(run.cfg.A, newPart)
+	if err != nil {
+		panic(fmt.Sprintf("core: no-spare plan: %v", err))
+	}
+	phiNew := run.cfg.Phi
+	if max := len(survivors) - 1; phiNew > max {
+		phiNew = max
+	}
+	if phiNew >= 1 {
+		augment := newPlan.Augment
+		if run.cfg.NaiveAugment {
+			augment = newPlan.AugmentNaive
+		}
+		if err := augment(phiNew); err != nil {
+			panic(fmt.Sprintf("core: no-spare augment: %v", err))
+		}
+	} else {
+		run.res = nil // single survivor: no peers to hold redundancy
+	}
+
+	// Rebuild this node's local view.
+	subRank := sub.Rank()
+	newLo, newHi := newPart.Lo(subRank), newPart.Hi(subRank)
+	newM := newHi - newLo
+	if amAdopter {
+		x := make([]float64, newM)
+		r := make([]float64, newM)
+		z := make([]float64, newM)
+		p := make([]float64, newM)
+		place := func(dst, src []float64, gLo int) {
+			if src != nil {
+				copy(dst[gLo-newLo:], src)
+			}
+		}
+		place(x, run.x, run.lo)
+		place(r, run.r, run.lo)
+		place(z, run.z, run.lo)
+		place(p, run.p, run.lo)
+		place(x, xIf, flo)
+		place(r, rIf, flo)
+		place(z, zIf, flo)
+		place(p, pIf, flo)
+		run.x, run.r, run.z, run.p = x, r, z, p
+		run.q = make([]float64, newM)
+
+		ownPC := run.pc
+		failedPC, err := run.failedRangePC(run.cfg.Failure.Ranks)
+		if err != nil {
+			panic(fmt.Sprintf("core: no-spare preconditioner: %v", err))
+		}
+		var parts []precond.Preconditioner
+		var sizes []int
+		if flo < run.lo { // adopted block precedes the own range
+			parts = []precond.Preconditioner{failedPC, ownPC}
+			sizes = []int{fhi - flo, run.hi - run.lo}
+		} else {
+			parts = []precond.Preconditioner{ownPC, failedPC}
+			sizes = []int{run.hi - run.lo, fhi - flo}
+		}
+		comp, err := precond.NewComposite(parts, sizes)
+		if err != nil {
+			panic(fmt.Sprintf("core: no-spare composite: %v", err))
+		}
+		run.pc = comp
+	}
+	run.nd = sub
+	run.part = newPart
+	run.plan = newPlan
+	run.lo, run.hi, run.m = newLo, newHi, newM
+	var nnz float64
+	for i := newLo; i < newHi; i++ {
+		nnz += float64(run.cfg.A.RowPtr[i+1] - run.cfg.A.RowPtr[i])
+	}
+	run.nnzLocal = nnz
+
+	// Re-anchor the redundancy machinery on the new layout: the queue held
+	// copies routed by the old plan, which no longer matches the shrunken
+	// holder sets, so it restarts empty; the starred duplicates become the
+	// just-reconstructed state at jrec.
+	if st, ok := run.res.(*esrState); ok && st != nil {
+		st.queue.Reset()
+		st.xs = make([]float64, newM)
+		st.rs = make([]float64, newM)
+		st.zs = make([]float64, newM)
+		st.ps = make([]float64, newM)
+		if st.t > 1 {
+			copy(st.xs, run.x)
+			copy(st.rs, run.r)
+			copy(st.zs, run.z)
+			copy(st.ps, run.p)
+			st.starsIter = jrec
+			st.hasStars = true
+			st.betaStar = betaStar
+			st.betaPending = betaStar
+		}
+	}
+}

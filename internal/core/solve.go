@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"esrp/internal/aspmv"
+	"esrp/internal/cluster"
+	"esrp/internal/dist"
+	"esrp/internal/precond"
+	"esrp/internal/vec"
+)
+
+// Solve runs the configured PCG solve on a simulated cluster and returns the
+// aggregated result. It is deterministic for a fixed configuration.
+func Solve(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	model := cluster.DefaultCostModel()
+	if cfg.CostModel != nil {
+		model = *cfg.CostModel
+	}
+	part, err := buildPartition(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := aspmv.NewPlan(cfg.A, part)
+	if err != nil {
+		return nil, err
+	}
+	needsRedundancy := cfg.Strategy == StrategyESR || cfg.Strategy == StrategyESRP
+	if needsRedundancy {
+		augment := plan.Augment
+		if cfg.NaiveAugment {
+			augment = plan.AugmentNaive
+		}
+		if err := augment(cfg.Phi); err != nil {
+			return nil, err
+		}
+	}
+	comm := cluster.New(cfg.Nodes, model)
+	result := &Result{}
+	runErr := comm.Run(func(nd *cluster.Node) {
+		run, err := newNodeRun(&cfg, nd, part, plan)
+		if err != nil {
+			panic(err)
+		}
+		run.main(result)
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	result.SimTime = comm.MaxClock()
+	result.WallTime = comm.WallTime()
+	result.BytesSent = comm.BytesSent()
+	result.MsgsSent = comm.MsgsSent()
+	return result, nil
+}
+
+// buildPartition returns the block row partition of the configured solve:
+// uniform row counts by default, work-balanced contiguous ranges with
+// cfg.BalanceNNZ. The balancing weight models a row's full per-iteration
+// cost, not just its SpMV share: 2·nnz flops for the product plus ~16 for
+// the row's share of the vector updates plus ~2·blockSize for the block
+// Jacobi apply — otherwise balancing the product alone shifts the critical
+// path to the vector work of the row-heavy nodes.
+func buildPartition(cfg *Config) (*dist.Partition, error) {
+	if !cfg.BalanceNNZ {
+		return dist.NewBlockPartition(cfg.A.Rows, cfg.Nodes), nil
+	}
+	perRow := 16.0 + 2*float64(cfg.MaxBlock)
+	weights := make([]float64, cfg.A.Rows)
+	for i := range weights {
+		weights[i] = 2*float64(cfg.A.RowPtr[i+1]-cfg.A.RowPtr[i]) + perRow
+	}
+	return dist.NewBalancedWeightPartition(weights, cfg.Nodes)
+}
+
+// nodeRun is the per-node solver state.
+type nodeRun struct {
+	cfg  *Config
+	nd   *cluster.Node
+	part *dist.Partition
+	plan *aspmv.Plan
+	pc   precond.Preconditioner
+
+	lo, hi   int // owned global index range
+	m        int // local size
+	nnzLocal float64
+
+	// Dynamic solver state (local blocks). These are exactly the data a
+	// node failure destroys.
+	x, r, z, p  []float64
+	q           []float64 // local rows of A·p
+	pFull       []float64 // full-length halo buffer for exchanges
+	rz          float64   // r·z of the current iteration
+	betaPrev    float64   // β of the previous iteration
+	bNormGlobal float64
+
+	res resilience // strategy-specific redundant storage (nil for None)
+
+	recoveryTime float64
+	recoveredAt  int
+	wastedIters  int
+	recovered    bool
+	failurePend  bool // failure configured but not yet injected
+	retired      bool // no-spare mode: this node failed and dropped out
+
+	residLog []float64
+}
+
+func newNodeRun(cfg *Config, nd *cluster.Node, part *dist.Partition, plan *aspmv.Plan) (*nodeRun, error) {
+	s := nd.Rank()
+	lo, hi := part.Lo(s), part.Hi(s)
+	pc, err := precond.Build(cfg.PrecondKind, cfg.A, lo, hi, cfg.MaxBlock)
+	if err != nil {
+		return nil, err
+	}
+	if pc.CouplesAcrossNodes() {
+		return nil, fmt.Errorf("core: preconditioners coupling across node boundaries are not supported by the reconstruction")
+	}
+	var nnz float64
+	for i := lo; i < hi; i++ {
+		nnz += float64(cfg.A.RowPtr[i+1] - cfg.A.RowPtr[i])
+	}
+	run := &nodeRun{
+		cfg: cfg, nd: nd, part: part, plan: plan, pc: pc,
+		lo: lo, hi: hi, m: hi - lo, nnzLocal: nnz,
+		x: make([]float64, hi-lo), r: make([]float64, hi-lo),
+		z: make([]float64, hi-lo), p: make([]float64, hi-lo),
+		q: make([]float64, hi-lo), pFull: make([]float64, cfg.A.Rows),
+		failurePend: cfg.Failure != nil,
+	}
+	switch cfg.Strategy {
+	case StrategyESR, StrategyESRP:
+		run.res = newESRState(run)
+	case StrategyIMCR:
+		run.res = newIMCRState(run)
+	}
+	return run, nil
+}
+
+// spmv computes q = (A·p) on the local rows, performing the halo exchange
+// first. If augmented, the received redundant copy is returned for the
+// caller to retain.
+func (run *nodeRun) spmv(augmented bool, iter int) *aspmv.ReceivedCopy {
+	copy(run.pFull[run.lo:run.hi], run.p)
+	var rc *aspmv.ReceivedCopy
+	if augmented {
+		c := run.plan.ExchangeAugmented(run.nd, run.pFull, iter)
+		rc = &c
+	} else {
+		run.plan.Exchange(run.nd, run.pFull)
+	}
+	run.cfg.A.MulVecRows(run.q, run.pFull, run.lo, run.hi)
+	run.nd.Compute(2 * run.nnzLocal)
+	return rc
+}
+
+// dot2 performs the fused allreduce of two local partial sums, the way an
+// optimized PCG batches its residual norms.
+func (run *nodeRun) dot2(a, b float64) (float64, float64) {
+	buf := [2]float64{a, b}
+	run.nd.Allreduce(cluster.OpSum, buf[:])
+	return buf[0], buf[1]
+}
+
+// bootstrap initializes r, z, p, rz and the global ‖b‖ from x0 (line 1 of
+// Alg. 1) and returns the initial relative residual ‖r₀‖/‖b‖.
+func (run *nodeRun) bootstrap() float64 {
+	bLoc := run.cfg.B[run.lo:run.hi]
+	if run.cfg.X0 != nil {
+		copy(run.x, run.cfg.X0[run.lo:run.hi])
+	}
+	// r = b - A x0 (reuses the SpMV path with p := x).
+	copy(run.p, run.x)
+	run.spmv(false, -1)
+	vec.Sub(run.r, bLoc, run.q)
+	run.nd.Compute(float64(run.m))
+	run.pc.Apply(run.z, run.r)
+	run.nd.Compute(run.pc.ApplyFlops())
+	copy(run.p, run.z)
+	rzLoc := vec.Dot(run.r, run.z)
+	bbLoc := vec.Dot(bLoc, bLoc)
+	rrLoc := vec.Dot(run.r, run.r)
+	run.nd.Compute(6 * float64(run.m))
+	buf := [3]float64{rzLoc, bbLoc, rrLoc}
+	run.nd.Allreduce(cluster.OpSum, buf[:])
+	run.rz = buf[0]
+	run.bNormGlobal = math.Sqrt(buf[1])
+	if run.bNormGlobal == 0 {
+		run.bNormGlobal = 1 // solving Ax=0: converge on absolute residual
+	}
+	return math.Sqrt(buf[2]) / run.bNormGlobal
+}
+
+// main is the SPMD body executed by every node. All communication goes
+// through run.nd, which the no-spare-node recovery replaces with the
+// surviving sub-communicator mid-solve; a node that failed in no-spare mode
+// sets run.retired and drops out.
+func (run *nodeRun) main(result *Result) {
+	cfg := run.cfg
+	relres := run.bootstrap()
+
+	totalSteps := 0
+	converged := relres < cfg.Rtol // x0 may already satisfy the tolerance
+	j := 0
+	for ; !converged && j < cfg.MaxIter; totalSteps++ {
+		// Storage-stage bookkeeping and the (possibly augmented) SpMV.
+		augmented := false
+		if run.res != nil {
+			augmented = run.res.beforeSpMV(j)
+		}
+		rc := run.spmv(augmented, j)
+		if rc != nil {
+			run.res.retain(*rc)
+		}
+
+		// Failure injection point: immediately after the SpMV communication
+		// of the marked iteration, as in the paper's framework, so that the
+		// redundant copies of this iteration (if it is a storage iteration)
+		// have been pushed.
+		if run.failurePend && j == cfg.Failure.Iteration {
+			run.failurePend = false
+			jrec := run.recoverFromFailure(j)
+			if run.retired {
+				return // no-spare mode: this node is gone
+			}
+			run.wastedIters = j - jrec
+			run.recoveredAt = jrec
+			run.recovered = true
+			j = jrec
+			continue
+		}
+
+		// α = r·z / p·(A p)
+		pqLoc := vec.Dot(run.p, run.q)
+		run.nd.Compute(2 * float64(run.m))
+		pq := run.nd.AllreduceScalar(cluster.OpSum, pqLoc)
+		alpha := run.rz / pq
+
+		vec.Axpy(alpha, run.p, run.x)
+		vec.Axpy(-alpha, run.q, run.r)
+		run.nd.Compute(4 * float64(run.m))
+
+		// Residual replacement (ref. 27): swap the recurrence residual for
+		// the true residual before z, β and p are derived from it, so the
+		// reconstruction recurrences stay valid.
+		if rr := cfg.ResidualReplacementInterval; rr > 0 && (j+1)%rr == 0 {
+			copy(run.pFull[run.lo:run.hi], run.x)
+			run.plan.Exchange(run.nd, run.pFull)
+			run.cfg.A.MulVecRows(run.q, run.pFull, run.lo, run.hi)
+			vec.Sub(run.r, run.cfg.B[run.lo:run.hi], run.q)
+			run.nd.Compute(2*run.nnzLocal + float64(run.m))
+		}
+
+		run.pc.Apply(run.z, run.r)
+		run.nd.Compute(run.pc.ApplyFlops())
+
+		rzLoc := vec.Dot(run.r, run.z)
+		rrLoc := vec.Dot(run.r, run.r)
+		run.nd.Compute(4 * float64(run.m))
+		rzNew, rr := run.dot2(rzLoc, rrLoc)
+
+		beta := rzNew / run.rz
+		vec.XpayInto(run.p, run.z, beta, run.p)
+		run.nd.Compute(2 * float64(run.m))
+
+		run.rz = rzNew
+		run.betaPrev = beta
+		if run.res != nil {
+			run.res.afterIteration(j, beta)
+		}
+
+		relres = math.Sqrt(rr) / run.bNormGlobal
+		if cfg.RecordResiduals && run.nd.Rank() == 0 {
+			run.residLog = append(run.residLog, relres)
+		}
+		j++
+		if relres < cfg.Rtol {
+			converged = true
+		}
+	}
+
+	drift := run.residualDrift(relres)
+	recovery := run.nd.AllreduceScalar(cluster.OpMax, run.recoveryTime)
+
+	xParts := run.nd.Gather(0, run.x)
+	if run.nd.Rank() == 0 {
+		x := make([]float64, cfg.A.Rows)
+		for s, xp := range xParts {
+			copy(x[run.part.Lo(s):run.part.Hi(s)], xp)
+		}
+		result.X = x
+		result.Converged = converged
+		result.Iterations = j
+		result.TotalSteps = totalSteps
+		result.RelResidual = relres
+		result.RecoveryTime = recovery
+		result.Recovered = run.recovered
+		result.RecoveredAt = run.recoveredAt
+		result.WastedIters = run.wastedIters
+		result.Drift = drift
+		result.Residuals = run.residLog
+		result.ActiveNodes = run.nd.Size()
+	}
+}
+
+// residualDrift evaluates Eq. 2 of the paper after convergence:
+// (‖r‖₂ − ‖b−Ax‖₂) / ‖b−Ax‖₂, comparing the recurrence residual with the
+// true residual of the final iterand.
+func (run *nodeRun) residualDrift(finalRelres float64) float64 {
+	copy(run.p, run.x)
+	run.spmv(false, -2)
+	bLoc := run.cfg.B[run.lo:run.hi]
+	trueLoc := 0.0
+	for i := 0; i < run.m; i++ {
+		d := bLoc[i] - run.q[i]
+		trueLoc += d * d
+	}
+	run.nd.Compute(3 * float64(run.m))
+	trueSq := run.nd.AllreduceScalar(cluster.OpSum, trueLoc)
+	trueNorm := math.Sqrt(trueSq)
+	if trueNorm == 0 {
+		return 0
+	}
+	recNorm := finalRelres * run.bNormGlobal
+	return (recNorm - trueNorm) / trueNorm
+}

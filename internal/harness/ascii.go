@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// RenderFigureASCII draws the paper's Fig. 2/3 layout as a log-scale ASCII
+// scatter: checkpoint intervals clustered on the x-axis, runtime overhead on
+// a logarithmic y-axis, one marker column per strategy within each cluster
+// (P = ESRP, E = ESR, C = IMCR), markers 1..9 keyed by φ position in the
+// sweep. failureFree selects subfigure (a), otherwise (b).
+func RenderFigureASCII(r *Report, failureFree bool) string {
+	ts := tsAbove1(r.Spec.Ts)
+	if len(ts) == 0 {
+		return "no intervals > 1 to plot\n"
+	}
+	type point struct {
+		col    int
+		value  float64
+		marker byte
+	}
+	var points []point
+	colsPerCluster := 3*len(r.Spec.Phis) + 3
+	esrCells := cellsWithT(r.ESRP, 1)
+	for ci, t := range ts {
+		base := 2 + ci*colsPerCluster
+		for pi, phi := range r.Spec.Phis {
+			digit := byte('1' + pi)
+			add := func(off int, c *Cell) {
+				if c == nil {
+					return
+				}
+				v := c.FFOverhead
+				if !failureFree {
+					v = medianFailOverhead(c)
+				}
+				points = append(points, point{col: base + off, value: v, marker: digit})
+			}
+			add(pi, findPhi(cellsWithT(r.ESRP, t), phi))
+			add(len(r.Spec.Phis)+1+pi, findPhi(esrCells, phi))
+			add(2*len(r.Spec.Phis)+2+pi, findPhi(cellsWithT(r.IMCR, t), phi))
+		}
+	}
+
+	// Log-scale y-axis spanning the positive overheads; values at or below
+	// the floor (including the exact-zero φ=1 cases) sit on the bottom row.
+	const rows = 12
+	minV, maxV := math.Inf(1), 0.0
+	for _, p := range points {
+		if p.value > 0 {
+			if p.value < minV {
+				minV = p.value
+			}
+			if p.value > maxV {
+				maxV = p.value
+			}
+		}
+	}
+	if maxV == 0 { // all-zero degenerate case
+		minV, maxV = 1e-4, 1
+	}
+	if minV == maxV {
+		minV = maxV / 10
+	}
+	logMin, logMax := math.Log10(minV), math.Log10(maxV)
+
+	width := 2 + len(ts)*colsPerCluster
+	grid := make([][]byte, rows)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(v float64) int {
+		if v <= minV {
+			return rows - 1
+		}
+		frac := (math.Log10(v) - logMin) / (logMax - logMin)
+		y := int(math.Round(float64(rows-1) * (1 - frac)))
+		if y < 0 {
+			y = 0
+		}
+		if y > rows-1 {
+			y = rows - 1
+		}
+		return y
+	}
+	for _, p := range points {
+		if p.col < width {
+			grid[rowOf(p.value)][p.col] = p.marker
+		}
+	}
+
+	var b strings.Builder
+	kind := "(b) node failures introduced"
+	if failureFree {
+		kind = "(a) failure-free solver"
+	}
+	fmt.Fprintf(&b, "%s — %s, runtime overhead (log scale)\n", r.Spec.Name, kind)
+	fmt.Fprintf(&b, "columns per T-cluster: ESRP | ESR | IMCR; markers 1..%d = φ %v\n",
+		len(r.Spec.Phis), r.Spec.Phis)
+	for y := 0; y < rows; y++ {
+		frac := 1 - float64(y)/float64(rows-1)
+		label := math.Pow(10, logMin+frac*(logMax-logMin))
+		fmt.Fprintf(&b, "%8.3f%% |%s\n", 100*label, string(grid[y]))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	axis := []byte(strings.Repeat(" ", width))
+	for ci, t := range ts {
+		lbl := fmt.Sprintf("T=%d", t)
+		at := 2 + ci*colsPerCluster
+		copy(axis[at:min(at+len(lbl), width)], lbl)
+	}
+	fmt.Fprintf(&b, "%10s  %s\n", "", string(axis))
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,328 @@
+// Package harness drives the paper's experimental constellation (Section 5)
+// on the simulated cluster: reference runs, failure-free resilient runs, and
+// runs with injected node failures, for every combination of strategy
+// (ESRP including the T = 1 ESR case, and IMCR), checkpointing interval T,
+// and redundancy φ, at the paper's two failure locations (rank blocks
+// starting at 0 and at N/2).
+//
+// The harness computes the paper's metrics — relative runtime overhead over
+// the non-resilient reference, reconstruction overhead, and residual drift
+// (Eq. 2) — and renders them in the layout of Tables 1–4 and Figures 2–3.
+//
+// Runtimes are simulated (LogGP model, see internal/cluster), so a single
+// repetition is deterministic; the Reps knob exists for API fidelity with
+// the paper's ≥5 repetitions and for exercising the median path.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"esrp/internal/cluster"
+	"esrp/internal/core"
+	"esrp/internal/precond"
+	"esrp/internal/sparse"
+)
+
+// Location identifies where the contiguous block of failed ranks starts,
+// matching the paper's "Start" (rank 0) and "Center" (rank N/2) rows.
+type Location int
+
+// Failure locations of the paper's constellation.
+const (
+	LocStart Location = iota
+	LocCenter
+)
+
+// String returns the paper's label for the location.
+func (l Location) String() string {
+	switch l {
+	case LocStart:
+		return "Start"
+	case LocCenter:
+		return "Center"
+	default:
+		return fmt.Sprintf("Location(%d)", int(l))
+	}
+}
+
+// Ranks returns the contiguous failed-rank block of ψ nodes for this
+// location on an n-node cluster.
+func (l Location) Ranks(psi, n int) []int {
+	base := 0
+	if l == LocCenter {
+		base = n / 2
+	}
+	ranks := make([]int, psi)
+	for i := range ranks {
+		ranks[i] = base + i
+	}
+	return ranks
+}
+
+// Spec describes one experiment family: one matrix, one cluster size, and
+// the sweep over strategies, intervals and redundancy counts.
+type Spec struct {
+	Name   string      // matrix label for the rendered tables
+	Matrix *sparse.CSR // the SPD system
+	B      []float64   // right-hand side (nil = b for x*=ones)
+
+	Nodes int // simulated cluster size (paper: 128; defaults to 32)
+
+	Rtol      float64 // outer tolerance (paper: 1e-8)
+	InnerRtol float64 // reconstruction tolerance (paper: 1e-14)
+	MaxBlock  int     // block Jacobi block bound (paper: 10)
+
+	Ts   []int // checkpoint intervals; for ESRP a leading 1 means "plain ESR"
+	Phis []int // redundancy counts φ (= ψ in the failure runs)
+
+	Locations []Location // failure locations (default Start, Center)
+
+	Reps int // repetitions per setting; median is reported (default 1)
+
+	MaxIter   int                // per-run iteration cap (0 = solver default)
+	CostModel *cluster.CostModel // nil = cluster default
+	Precond   precond.Kind       // zero value = block Jacobi
+}
+
+func (s Spec) withDefaults() (Spec, error) {
+	if s.Matrix == nil {
+		return s, fmt.Errorf("harness: missing matrix")
+	}
+	if s.Name == "" {
+		s.Name = "matrix"
+	}
+	if s.B == nil {
+		b := make([]float64, s.Matrix.Rows)
+		one := make([]float64, s.Matrix.Rows)
+		for i := range one {
+			one[i] = 1
+		}
+		s.Matrix.MulVecRows(b, one, 0, s.Matrix.Rows)
+		s.B = b
+	}
+	if s.Nodes <= 0 {
+		s.Nodes = 32
+	}
+	if s.Rtol <= 0 {
+		s.Rtol = 1e-8
+	}
+	if s.InnerRtol <= 0 {
+		s.InnerRtol = 1e-14
+	}
+	if s.MaxBlock <= 0 {
+		s.MaxBlock = 10
+	}
+	if len(s.Ts) == 0 {
+		s.Ts = []int{1, 20, 50, 100}
+	}
+	if len(s.Phis) == 0 {
+		s.Phis = []int{1, 3, 8}
+	}
+	if len(s.Locations) == 0 {
+		s.Locations = []Location{LocStart, LocCenter}
+	}
+	if s.Reps <= 0 {
+		s.Reps = 1
+	}
+	if s.Precond == precond.Default {
+		s.Precond = precond.BlockJacobi
+	}
+	return s, nil
+}
+
+// Cell is one measured setting of the constellation — one row-group entry of
+// Table 2/3.
+type Cell struct {
+	Strategy core.Strategy
+	T        int
+	Phi      int
+
+	// Failure-free measurement.
+	FFTime     float64 // median simulated runtime with resilience, no failure
+	FFOverhead float64 // (FFTime − t0)/t0
+	FFIters    int
+
+	// Failure measurements, one per location (parallel to Spec.Locations).
+	Fail []FailureCell
+}
+
+// FailureCell is one failure run: ψ = φ simultaneous failures at a location.
+type FailureCell struct {
+	Location Location
+	Psi      int
+
+	Time             float64 // median simulated runtime including recovery
+	Overhead         float64 // (Time − t0)/t0
+	RecoveryOverhead float64 // median RecoveryTime / t0
+	WastedIters      int
+	Drift            float64
+	Converged        bool
+	FailureIter      int // iteration the failure was injected at
+}
+
+// Report aggregates one Spec's measurements.
+type Report struct {
+	Spec Spec
+
+	RefTime  float64 // t0: median simulated runtime of the non-resilient PCG
+	RefIters int     // C: iterations of the reference run
+	RefDrift float64 // residual drift of the reference (Eq. 2)
+
+	ESRP []Cell // sorted by (T, φ); T = 1 entries are plain ESR
+	IMCR []Cell // sorted by (T, φ); no T = 1 entry
+}
+
+// FailureIteration returns the paper's injection point for interval T: two
+// iterations before the end of the checkpoint interval containing iteration
+// C/2 — the worst case, where almost all progress since the interval's
+// storage stage is lost. For T = 1 (plain ESR) it is simply C/2.
+func FailureIteration(c, t int) int {
+	if t <= 1 {
+		return c / 2
+	}
+	k := (c / 2) / t
+	j := (k+1)*t - 2
+	if j < 0 {
+		j = 0
+	}
+	return j
+}
+
+// Run executes the full constellation for the spec and returns the report.
+func Run(spec Spec) (*Report, error) {
+	spec, err := spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Spec: spec}
+
+	ref, err := runMedian(spec, core.Config{Strategy: core.StrategyNone}, spec.Reps)
+	if err != nil {
+		return nil, fmt.Errorf("harness: reference run: %w", err)
+	}
+	if !ref.Converged {
+		return nil, fmt.Errorf("harness: reference solver did not converge in %d iterations", ref.Iterations)
+	}
+	rep.RefTime = ref.SimTime
+	rep.RefIters = ref.Iterations
+	rep.RefDrift = ref.Drift
+
+	for _, t := range spec.Ts {
+		for _, phi := range spec.Phis {
+			cell, err := runCell(spec, esrpConfig(t), t, phi, rep)
+			if err != nil {
+				return nil, err
+			}
+			rep.ESRP = append(rep.ESRP, *cell)
+		}
+	}
+	for _, t := range spec.Ts {
+		if t <= 1 {
+			continue // the paper's IMCR sweep starts at T = 20
+		}
+		for _, phi := range spec.Phis {
+			cell, err := runCell(spec, core.StrategyIMCR, t, phi, rep)
+			if err != nil {
+				return nil, err
+			}
+			rep.IMCR = append(rep.IMCR, *cell)
+		}
+	}
+	return rep, nil
+}
+
+// esrpConfig maps a checkpoint interval to the strategy the paper would use:
+// T ≤ 2 degenerates to plain ESR (Section 3), otherwise ESRP.
+func esrpConfig(t int) core.Strategy {
+	if t <= 2 {
+		return core.StrategyESR
+	}
+	return core.StrategyESRP
+}
+
+// runCell measures one (strategy, T, φ) setting: the failure-free run plus
+// one failure run per location with ψ = φ simultaneous failures.
+func runCell(spec Spec, strat core.Strategy, t, phi int, rep *Report) (*Cell, error) {
+	base := core.Config{Strategy: strat, T: t, Phi: phi}
+	ff, err := runMedian(spec, base, spec.Reps)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %v T=%d φ=%d failure-free: %w", strat, t, phi, err)
+	}
+	cell := &Cell{
+		Strategy:   strat,
+		T:          t,
+		Phi:        phi,
+		FFTime:     ff.SimTime,
+		FFOverhead: overhead(ff.SimTime, rep.RefTime),
+		FFIters:    ff.Iterations,
+	}
+	fiter := FailureIteration(rep.RefIters, t)
+	for _, loc := range spec.Locations {
+		cfg := base
+		cfg.Failure = &core.FailureSpec{
+			Iteration: fiter,
+			Ranks:     loc.Ranks(phi, spec.Nodes),
+		}
+		fr, err := runMedian(spec, cfg, spec.Reps)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %v T=%d φ=ψ=%d %v: %w", strat, t, phi, loc, err)
+		}
+		cell.Fail = append(cell.Fail, FailureCell{
+			Location:         loc,
+			Psi:              phi,
+			Time:             fr.SimTime,
+			Overhead:         overhead(fr.SimTime, rep.RefTime),
+			RecoveryOverhead: fr.RecoveryTime / rep.RefTime,
+			WastedIters:      fr.WastedIters,
+			Drift:            fr.Drift,
+			Converged:        fr.Converged,
+			FailureIter:      fiter,
+		})
+	}
+	return cell, nil
+}
+
+func overhead(t, t0 float64) float64 { return (t - t0) / t0 }
+
+// runMedian completes the config from the spec, runs it Reps times, and
+// returns the run whose simulated time is the median.
+func runMedian(spec Spec, cfg core.Config, reps int) (*core.Result, error) {
+	cfg.A = spec.Matrix
+	cfg.B = spec.B
+	cfg.Nodes = spec.Nodes
+	cfg.Rtol = spec.Rtol
+	cfg.InnerRtol = spec.InnerRtol
+	cfg.MaxBlock = spec.MaxBlock
+	cfg.MaxIter = spec.MaxIter
+	cfg.PrecondKind = spec.Precond
+	cfg.CostModel = spec.CostModel
+
+	results := make([]*core.Result, 0, reps)
+	for i := 0; i < reps; i++ {
+		r, err := core.Solve(cfg)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].SimTime < results[j].SimTime })
+	return results[len(results)/2], nil
+}
+
+// DriftStats condenses the drift of all failure runs of a report into the
+// paper's Table 4 row: reference drift, median drift, and minimum drift
+// (the worst accuracy loss) over all ESRP failure experiments.
+func (r *Report) DriftStats() (ref, median, min float64) {
+	var drifts []float64
+	for _, c := range r.ESRP {
+		for _, f := range c.Fail {
+			drifts = append(drifts, f.Drift)
+		}
+	}
+	if len(drifts) == 0 {
+		return r.RefDrift, r.RefDrift, r.RefDrift
+	}
+	sort.Float64s(drifts)
+	return r.RefDrift, drifts[len(drifts)/2], drifts[0]
+}

@@ -1,0 +1,211 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"esrp/internal/core"
+	"esrp/internal/matgen"
+)
+
+// smallSpec builds a fast constellation: a 2-D Poisson matrix on 8 nodes
+// with a reduced sweep, converging in a few hundred iterations.
+func smallSpec() Spec {
+	return Spec{
+		Name:   "poisson2d-24x24",
+		Matrix: matgen.Poisson2D(24, 24),
+		Nodes:  8,
+		Ts:     []int{1, 10, 25},
+		Phis:   []int{1, 2},
+		Rtol:   1e-8,
+	}
+}
+
+func TestRunSmallConstellation(t *testing.T) {
+	rep, err := Run(smallSpec())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.RefIters <= 0 {
+		t.Fatalf("reference iterations = %d, want > 0", rep.RefIters)
+	}
+	if rep.RefTime <= 0 {
+		t.Fatalf("reference time = %g, want > 0", rep.RefTime)
+	}
+	// 3 intervals × 2 φ for ESRP; IMCR skips T = 1.
+	if got, want := len(rep.ESRP), 6; got != want {
+		t.Errorf("len(ESRP) = %d, want %d", got, want)
+	}
+	if got, want := len(rep.IMCR), 4; got != want {
+		t.Errorf("len(IMCR) = %d, want %d", got, want)
+	}
+	for _, c := range rep.ESRP {
+		if c.FFIters != rep.RefIters {
+			t.Errorf("ESRP T=%d φ=%d failure-free iterations %d differ from reference %d (redundancy must not change the trajectory)",
+				c.T, c.Phi, c.FFIters, rep.RefIters)
+		}
+		if len(c.Fail) != 2 {
+			t.Fatalf("ESRP T=%d φ=%d: %d failure cells, want 2", c.T, c.Phi, len(c.Fail))
+		}
+		for _, f := range c.Fail {
+			if !f.Converged {
+				t.Errorf("ESRP T=%d φ=%d %v: failure run did not converge", c.T, c.Phi, f.Location)
+			}
+			if f.Overhead < 0 {
+				t.Errorf("ESRP T=%d φ=%d %v: negative overhead %g", c.T, c.Phi, f.Location, f.Overhead)
+			}
+		}
+	}
+}
+
+func TestESRPStrategySelection(t *testing.T) {
+	if got := esrpConfig(1); got != core.StrategyESR {
+		t.Errorf("esrpConfig(1) = %v, want ESR", got)
+	}
+	if got := esrpConfig(2); got != core.StrategyESR {
+		t.Errorf("esrpConfig(2) = %v, want ESR", got)
+	}
+	if got := esrpConfig(20); got != core.StrategyESRP {
+		t.Errorf("esrpConfig(20) = %v, want ESRP", got)
+	}
+}
+
+func TestFailureIteration(t *testing.T) {
+	cases := []struct {
+		c, t, want int
+	}{
+		{1000, 1, 500},    // ESR: failure at C/2
+		{1000, 20, 518},   // interval [500,520): inject at 520-2
+		{1000, 100, 598},  // interval [500,600): inject at 600-2
+		{10279, 20, 5138}, // C/2 = 5139 lies in [5120, 5140): inject at 5138
+		{10, 50, 48},      // interval [0,50): inject at 48 even past convergence
+		{0, 1, 0},
+	}
+	for _, tc := range cases {
+		if got := FailureIteration(tc.c, tc.t); got != tc.want {
+			t.Errorf("FailureIteration(%d, %d) = %d, want %d", tc.c, tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestFailureIterationInsideHalfInterval(t *testing.T) {
+	// The injection point must lie in the interval containing C/2 and be
+	// exactly two before its end, for a range of C and T.
+	for _, c := range []int{100, 500, 1234, 10279} {
+		for _, tt := range []int{5, 20, 50, 100} {
+			j := FailureIteration(c, tt)
+			k := (c / 2) / tt
+			if j < k*tt || j >= (k+1)*tt {
+				t.Errorf("C=%d T=%d: injection %d outside interval [%d,%d)", c, tt, j, k*tt, (k+1)*tt)
+			}
+			if (k+1)*tt-j != 2 {
+				t.Errorf("C=%d T=%d: injection %d is %d before interval end, want 2", c, tt, j, (k+1)*tt-j)
+			}
+		}
+	}
+}
+
+func TestLocationRanks(t *testing.T) {
+	if got := LocStart.Ranks(3, 16); got[0] != 0 || got[2] != 2 {
+		t.Errorf("Start ranks = %v, want [0 1 2]", got)
+	}
+	if got := LocCenter.Ranks(2, 16); got[0] != 8 || got[1] != 9 {
+		t.Errorf("Center ranks = %v, want [8 9]", got)
+	}
+	if LocStart.String() != "Start" || LocCenter.String() != "Center" {
+		t.Errorf("location labels wrong: %v %v", LocStart, LocCenter)
+	}
+}
+
+func TestRenderersProduceTables(t *testing.T) {
+	rep, err := Run(smallSpec())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	tbl := RenderOverheadTable(rep)
+	for _, want := range []string{"ESRP", "ESR", "IMCR", "Start", "Center", "Reference time"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("overhead table missing %q:\n%s", want, tbl)
+		}
+	}
+	drift := RenderDriftTable([]*Report{rep})
+	if !strings.Contains(drift, rep.Spec.Name) || !strings.Contains(drift, "Median") {
+		t.Errorf("drift table malformed:\n%s", drift)
+	}
+	figA := RenderFigure(rep, true)
+	figB := RenderFigure(rep, false)
+	if !strings.Contains(figA, "Failure-free") || !strings.Contains(figB, "failures introduced") {
+		t.Errorf("figure renderers malformed:\n%s\n%s", figA, figB)
+	}
+	sum := Summary(rep)
+	if !strings.Contains(sum, "ESRP") {
+		t.Errorf("summary missing ESRP:\n%s", sum)
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	a := matgen.Poisson2D(10, 10)
+	out := RenderTable1([]Table1Row{NewTable1Row("poisson", "Test", a)})
+	if !strings.Contains(out, "poisson") || !strings.Contains(out, "100") {
+		t.Errorf("table 1 malformed:\n%s", out)
+	}
+}
+
+func TestDriftStats(t *testing.T) {
+	rep := &Report{RefDrift: -0.01}
+	ref, med, min := rep.DriftStats()
+	if ref != -0.01 || med != -0.01 || min != -0.01 {
+		t.Errorf("empty drift stats = %g %g %g, want all -0.01", ref, med, min)
+	}
+	rep.ESRP = []Cell{
+		{Fail: []FailureCell{{Drift: -0.03}, {Drift: -0.01}}},
+		{Fail: []FailureCell{{Drift: -0.02}}},
+	}
+	_, med, min = rep.DriftStats()
+	if min != -0.03 {
+		t.Errorf("min drift = %g, want -0.03", min)
+	}
+	if med != -0.02 {
+		t.Errorf("median drift = %g, want -0.02", med)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := Run(Spec{}); err == nil {
+		t.Error("Run with no matrix should fail")
+	}
+}
+
+func TestMedianOverReps(t *testing.T) {
+	spec := smallSpec()
+	spec.Ts = []int{10}
+	spec.Phis = []int{1}
+	spec.Reps = 3 // deterministic, but exercises the median path
+	rep, err := Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.ESRP) != 1 || len(rep.IMCR) != 1 {
+		t.Fatalf("unexpected cell counts: %d ESRP, %d IMCR", len(rep.ESRP), len(rep.IMCR))
+	}
+}
+
+func TestRenderFigureASCII(t *testing.T) {
+	rep, err := Run(smallSpec())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, ff := range []bool{true, false} {
+		out := RenderFigureASCII(rep, ff)
+		if !strings.Contains(out, "T=10") || !strings.Contains(out, "T=25") {
+			t.Errorf("ASCII figure missing T clusters:\n%s", out)
+		}
+		if !strings.Contains(out, "%") || !strings.Contains(out, "1") {
+			t.Errorf("ASCII figure missing axis or markers:\n%s", out)
+		}
+	}
+	empty := RenderFigureASCII(&Report{Spec: Spec{Ts: []int{1}}}, true)
+	if !strings.Contains(empty, "no intervals") {
+		t.Errorf("degenerate figure: %q", empty)
+	}
+}

@@ -1,0 +1,302 @@
+// Package matgen generates deterministic sparse SPD test matrices.
+//
+// The paper evaluates on two SuiteSparse structural matrices, Emilia_923
+// (923 136 rows, 40.4M nnz) and audikw_1 (943 695 rows, 77.7M nnz). Those
+// files are not redistributable here, so this package builds synthetic
+// analogs with the same sparsity-pattern character at configurable scale:
+//
+//   - EmiliaLike: 3-D 27-point hexahedral stencil — banded, ~25 nnz/row,
+//     like a scalar structural/geomechanics discretization.
+//   - AudikwLike: 3-D 27-point stencil with 3 degrees of freedom per vertex
+//     (elasticity-style block coupling) — ~2–3× denser rows, wider band.
+//
+// All generators produce symmetric positive definite matrices (verified by
+// tests via Gershgorin dominance or small-scale Cholesky).
+package matgen
+
+import (
+	"math"
+	"math/rand"
+
+	"esrp/internal/sparse"
+)
+
+// Poisson2D returns the 5-point finite-difference Laplacian on an nx×ny grid
+// with Dirichlet boundaries: M = nx·ny rows, 4 on the diagonal, -1 for the
+// four neighbours. SPD.
+func Poisson2D(nx, ny int) *sparse.CSR {
+	idx := func(i, j int) int { return i*ny + j }
+	b := sparse.NewBuilder(nx*ny, nx*ny)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			r := idx(i, j)
+			b.Add(r, r, 4)
+			if i > 0 {
+				b.Add(r, idx(i-1, j), -1)
+			}
+			if i < nx-1 {
+				b.Add(r, idx(i+1, j), -1)
+			}
+			if j > 0 {
+				b.Add(r, idx(i, j-1), -1)
+			}
+			if j < ny-1 {
+				b.Add(r, idx(i, j+1), -1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Poisson3D returns the 7-point Laplacian on an nx×ny×nz grid with Dirichlet
+// boundaries. SPD.
+func Poisson3D(nx, ny, nz int) *sparse.CSR {
+	idx := func(i, j, k int) int { return (i*ny+j)*nz + k }
+	b := sparse.NewBuilder(nx*ny*nz, nx*ny*nz)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				r := idx(i, j, k)
+				b.Add(r, r, 6)
+				if i > 0 {
+					b.Add(r, idx(i-1, j, k), -1)
+				}
+				if i < nx-1 {
+					b.Add(r, idx(i+1, j, k), -1)
+				}
+				if j > 0 {
+					b.Add(r, idx(i, j-1, k), -1)
+				}
+				if j < ny-1 {
+					b.Add(r, idx(i, j+1, k), -1)
+				}
+				if k > 0 {
+					b.Add(r, idx(i, j, k-1), -1)
+				}
+				if k < nz-1 {
+					b.Add(r, idx(i, j, k+1), -1)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// EmiliaLike returns a scalar 27-point stencil matrix on an nx×ny×nz grid
+// mimicking the banded structural character of Emilia_923: ~26 nnz/row,
+// narrow band relative to the matrix size.
+//
+// The matrix is the Dirichlet discretization of a diffusion operator with
+// layered, seeded material coefficients jumping by up to two orders of
+// magnitude between z-layers (the way geomechanical strata do). Interior
+// rows are weakly diagonally dominant and boundary rows strictly dominant,
+// so the matrix is irreducibly diagonally dominant with positive diagonal
+// and therefore SPD — with Laplacian-like conditioning that grows with the
+// grid, giving the realistic (hundreds to thousands) PCG iteration counts
+// the paper's checkpoint-interval trade-off depends on.
+func EmiliaLike(nx, ny, nz int, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	idx := func(i, j, k int) int { return (i*ny+j)*nz + k }
+	n := nx * ny * nz
+	b := sparse.NewBuilder(n, n)
+	// Material coefficient: per-layer base spanning ±2.5 decades (strata)
+	// times a rough per-cell log-uniform factor spanning ±2.5 decades
+	// (inclusions, faults). Cell-to-cell contrast is what diagonal-scaling-
+	// type preconditioners cannot remove, so this controls the PCG iteration
+	// count the way the real problem's heterogeneity does. The combined
+	// contrast stays below ~1e10 so that double-precision PCG still reaches
+	// rtol = 1e-8 without residual replacement.
+	layer := make([]float64, nz)
+	for k := range layer {
+		layer[k] = math.Pow(10, 5*rng.Float64()-2.5)
+	}
+	coeff := make([]float64, n)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				coeff[idx(i, j, k)] = layer[k] * math.Pow(10, 5*rng.Float64()-2.5)
+			}
+		}
+	}
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				r := idx(i, j, k)
+				var diag float64
+				for di := -1; di <= 1; di++ {
+					for dj := -1; dj <= 1; dj++ {
+						for dk := -1; dk <= 1; dk++ {
+							if di == 0 && dj == 0 && dk == 0 {
+								continue
+							}
+							// Flat hexahedral elements: vertical (z) coupling is
+							// much weaker than horizontal, the anisotropy that
+							// makes geomechanical systems hard for point-local
+							// preconditioners.
+							aniso := 1.0
+							if dk != 0 {
+								aniso = 1e-2
+							}
+							dist := float64(di*di+dj*dj+dk*dk) / aniso
+							ii, jj, kk := i+di, j+dj, k+dk
+							if ii < 0 || ii >= nx || jj < 0 || jj >= ny || kk < 0 || kk >= nz {
+								// Dirichlet: the virtual neighbour contributes its
+								// coupling weight to the diagonal only, which makes
+								// boundary-adjacent rows strictly dominant.
+								diag += coeff[r] / dist
+								continue
+							}
+							c := idx(ii, jj, kk)
+							// Symmetric coupling: harmonic-mean weight of the two
+							// cell coefficients (the physical flux weight across a
+							// material interface), scaled by stencil distance.
+							w := 2 * coeff[r] * coeff[c] / (coeff[r] + coeff[c])
+							b.Add(r, c, -w/dist)
+							diag += w / dist
+						}
+					}
+				}
+				b.Add(r, r, diag)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// AudikwLike returns a vector-valued 27-point stencil on an nx×ny×nz grid
+// with dof degrees of freedom per vertex (3 for elasticity), coupling all
+// dofs of neighbouring vertices: ~26·dof nnz/row, band dof× wider than
+// EmiliaLike.
+//
+// Like EmiliaLike, the discretization is Dirichlet-style: each vertex dof's
+// diagonal carries the full absolute coupling weight of all 26 stencil
+// neighbours (virtual out-of-domain neighbours included) plus the
+// intra-vertex coupling, so the matrix is irreducibly diagonally dominant,
+// symmetric, positive-diagonal — hence SPD — with grid-dependent
+// conditioning rather than an artificial dominance margin.
+func AudikwLike(nx, ny, nz, dof int, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	nv := nx * ny * nz
+	n := nv * dof
+	vidx := func(i, j, k int) int { return (i*ny+j)*nz + k }
+	b := sparse.NewBuilder(n, n)
+	// Rough per-vertex stiffness spanning five orders of magnitude: the
+	// mixed thin-shell/solid character of crankshaft models like audikw_1
+	// yields exactly this kind of local stiffness contrast.
+	coeff := make([]float64, nv)
+	for i := range coeff {
+		coeff[i] = math.Pow(10, 5*rng.Float64()-2.5)
+	}
+	// Fixed symmetric dof×dof coupling template (dof ≤ 3 entries used).
+	tmpl := [3][3]float64{
+		{1.00, 0.25, 0.10},
+		{0.25, 1.00, 0.25},
+		{0.10, 0.25, 1.00},
+	}
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				rv := vidx(i, j, k)
+				diag := make([]float64, dof)
+				for di := -1; di <= 1; di++ {
+					for dj := -1; dj <= 1; dj++ {
+						for dk := -1; dk <= 1; dk++ {
+							if di == 0 && dj == 0 && dk == 0 {
+								continue
+							}
+							// Thin-shell regions: vertical coupling is weak
+							// relative to in-plane coupling.
+							aniso := 1.0
+							if dk != 0 {
+								aniso = 1e-2
+							}
+							dist := float64(di*di+dj*dj+dk*dk) / aniso
+							ii, jj, kk := i+di, j+dj, k+dk
+							if ii < 0 || ii >= nx || jj < 0 || jj >= ny || kk < 0 || kk >= nz {
+								// Dirichlet: virtual neighbours load the diagonal only.
+								for a := 0; a < dof; a++ {
+									for c := 0; c < dof; c++ {
+										diag[a] += coeff[rv] * tmpl[a%3][c%3] / dist
+									}
+								}
+								continue
+							}
+							cv := vidx(ii, jj, kk)
+							w := 2 * coeff[rv] * coeff[cv] / (coeff[rv] + coeff[cv])
+							for a := 0; a < dof; a++ {
+								for c := 0; c < dof; c++ {
+									v := -w * tmpl[a%3][c%3] / dist
+									b.Add(rv*dof+a, cv*dof+c, v)
+									diag[a] += math.Abs(v)
+								}
+							}
+						}
+					}
+				}
+				// Intra-vertex off-diagonal coupling.
+				for a := 0; a < dof; a++ {
+					for c := 0; c < dof; c++ {
+						if a == c {
+							continue
+						}
+						v := -0.1 * coeff[rv] * tmpl[a%3][c%3]
+						b.Add(rv*dof+a, rv*dof+c, v)
+						diag[a] += math.Abs(v)
+					}
+				}
+				for a := 0; a < dof; a++ {
+					b.Add(rv*dof+a, rv*dof+a, diag[a])
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// BandedSPD returns an n×n random banded SPD matrix with half-bandwidth bw:
+// symmetric random entries in the band, diagonal boosted to strict dominance.
+// Used by property-based tests that need varied sparsity patterns.
+func BandedSPD(n, bw int, seed int64) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	b := sparse.NewBuilder(n, n)
+	rowAbs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j <= i+bw && j < n; j++ {
+			// Keep the band sparse: each in-band entry present w.p. 0.6.
+			if rng.Float64() < 0.4 {
+				continue
+			}
+			v := rng.NormFloat64()
+			b.AddSym(i, j, v)
+			rowAbs[i] += math.Abs(v)
+			rowAbs[j] += math.Abs(v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		b.Add(i, i, rowAbs[i]*1.1+1)
+	}
+	return b.Build()
+}
+
+// RHSOnes returns the all-ones right-hand side of length n — the conventional
+// smoke-test load vector.
+func RHSOnes(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	return x
+}
+
+// RHSForSolution returns b = A·xstar for a seeded random solution vector
+// xstar in [-1,1)ⁿ, so tests can verify convergence to a known solution.
+func RHSForSolution(a *sparse.CSR, seed int64) (b, xstar []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xstar = make([]float64, a.Cols)
+	for i := range xstar {
+		xstar[i] = 2*rng.Float64() - 1
+	}
+	b = make([]float64, a.Rows)
+	a.MulVec(b, xstar)
+	return b, xstar
+}

@@ -1,0 +1,188 @@
+package matgen
+
+import (
+	"math"
+	"testing"
+
+	"esrp/internal/dense"
+	"esrp/internal/sparse"
+)
+
+// assertSPDStructure checks symmetry and (for small sizes) positive
+// definiteness via dense Cholesky.
+func assertSPDStructure(t *testing.T, a *sparse.CSR, name string) {
+	t.Helper()
+	if err := a.Validate(); err != nil {
+		t.Fatalf("%s: invalid CSR: %v", name, err)
+	}
+	if !a.IsSymmetric(1e-12) {
+		t.Fatalf("%s: not symmetric", name)
+	}
+	if a.Rows <= 200 {
+		d := dense.FromRows(denseRows(a))
+		if _, err := dense.Factor(d); err != nil {
+			t.Fatalf("%s: not SPD: %v", name, err)
+		}
+	}
+}
+
+func denseRows(a *sparse.CSR) [][]float64 {
+	rows := make([][]float64, a.Rows)
+	flat := a.Dense()
+	for i := range rows {
+		rows[i] = flat[i*a.Cols : (i+1)*a.Cols]
+	}
+	return rows
+}
+
+func TestPoisson2D(t *testing.T) {
+	a := Poisson2D(5, 4)
+	if a.Rows != 20 {
+		t.Fatalf("rows = %d, want 20", a.Rows)
+	}
+	assertSPDStructure(t, a, "Poisson2D")
+	if a.At(0, 0) != 4 {
+		t.Fatalf("diagonal = %g, want 4", a.At(0, 0))
+	}
+	// Interior point has 5 nonzeros (center + 4 neighbours).
+	cols, _ := a.Row(1*4 + 1)
+	if len(cols) != 5 {
+		t.Fatalf("interior row nnz = %d, want 5", len(cols))
+	}
+}
+
+func TestPoisson3D(t *testing.T) {
+	a := Poisson3D(3, 3, 3)
+	if a.Rows != 27 {
+		t.Fatalf("rows = %d, want 27", a.Rows)
+	}
+	assertSPDStructure(t, a, "Poisson3D")
+	// Center vertex couples to 6 neighbours.
+	cols, _ := a.Row(13)
+	if len(cols) != 7 {
+		t.Fatalf("center row nnz = %d, want 7", len(cols))
+	}
+}
+
+func TestEmiliaLike(t *testing.T) {
+	a := EmiliaLike(4, 4, 4, 1)
+	if a.Rows != 64 {
+		t.Fatalf("rows = %d, want 64", a.Rows)
+	}
+	assertSPDStructure(t, a, "EmiliaLike")
+	// Interior vertex of a 27-point stencil has 27 nonzeros.
+	idx := (1*4+1)*4 + 1
+	cols, _ := a.Row(idx)
+	if len(cols) != 27 {
+		t.Fatalf("interior row nnz = %d, want 27", len(cols))
+	}
+}
+
+func TestEmiliaLikeDeterministic(t *testing.T) {
+	a := EmiliaLike(3, 3, 3, 42)
+	b := EmiliaLike(3, 3, 3, 42)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("same seed must give identical matrices")
+	}
+	for k := range a.Val {
+		if a.Val[k] != b.Val[k] {
+			t.Fatal("same seed must give identical values")
+		}
+	}
+	c := EmiliaLike(3, 3, 3, 43)
+	same := true
+	for k := range a.Val {
+		if a.Val[k] != c.Val[k] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different values")
+	}
+}
+
+func TestAudikwLike(t *testing.T) {
+	a := AudikwLike(3, 3, 3, 3, 1)
+	if a.Rows != 81 {
+		t.Fatalf("rows = %d, want 81", a.Rows)
+	}
+	assertSPDStructure(t, a, "AudikwLike")
+	// audikw-like rows must be denser than emilia-like rows.
+	e := EmiliaLike(3, 3, 3, 1)
+	if float64(a.NNZ())/float64(a.Rows) <= float64(e.NNZ())/float64(e.Rows) {
+		t.Fatalf("AudikwLike should have denser rows: %g vs %g",
+			float64(a.NNZ())/float64(a.Rows), float64(e.NNZ())/float64(e.Rows))
+	}
+}
+
+func TestBandedSPD(t *testing.T) {
+	a := BandedSPD(50, 4, 3)
+	assertSPDStructure(t, a, "BandedSPD")
+	if bw := a.Bandwidth(); bw > 4 {
+		t.Fatalf("bandwidth %d exceeds 4", bw)
+	}
+}
+
+func TestRHSOnes(t *testing.T) {
+	b := RHSOnes(5)
+	for _, v := range b {
+		if v != 1 {
+			t.Fatalf("RHSOnes: %v", b)
+		}
+	}
+}
+
+func TestRHSForSolution(t *testing.T) {
+	a := Poisson2D(4, 4)
+	b, xstar := RHSForSolution(a, 5)
+	ax := make([]float64, a.Rows)
+	a.MulVec(ax, xstar)
+	for i := range b {
+		if math.Abs(ax[i]-b[i]) > 1e-12 {
+			t.Fatalf("b ≠ A·xstar at %d", i)
+		}
+	}
+}
+
+// Irreducible diagonal dominance is the SPD guarantee for the large
+// generators: every row weakly dominant, at least one strictly dominant (a
+// stencil matrix on a connected grid is irreducible). Check directly at
+// sizes where dense Cholesky is impractical.
+func TestGeneratorsDiagonallyDominant(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		a      *sparse.CSR
+		strict bool // every row strictly dominant
+	}{
+		{"EmiliaLike", EmiliaLike(6, 6, 6, 2), false},
+		{"AudikwLike", AudikwLike(4, 4, 4, 3, 2), false},
+		{"BandedSPD", BandedSPD(300, 8, 2), true},
+	} {
+		a := tc.a
+		strictRows := 0
+		for i := 0; i < a.Rows; i++ {
+			cols, vals := a.Row(i)
+			var off, diag float64
+			for k, j := range cols {
+				if j == i {
+					diag = vals[k]
+				} else {
+					off += math.Abs(vals[k])
+				}
+			}
+			if diag < off-1e-9*off {
+				t.Fatalf("%s: row %d not weakly diagonally dominant: %g < %g", tc.name, i, diag, off)
+			}
+			if diag > off+1e-12*off {
+				strictRows++
+			}
+		}
+		if strictRows == 0 {
+			t.Fatalf("%s: no strictly dominant row; irreducible dominance argument fails", tc.name)
+		}
+		if tc.strict && strictRows != a.Rows {
+			t.Fatalf("%s: only %d of %d rows strictly dominant", tc.name, strictRows, a.Rows)
+		}
+	}
+}

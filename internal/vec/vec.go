@@ -1,0 +1,129 @@
+// Package vec provides the serial dense-vector kernels that every simulated
+// node applies to its local block of a distributed vector.
+//
+// All functions operate on raw []float64 slices. They are deliberately free
+// of bounds-checking conveniences: callers pass equally sized slices, and the
+// functions panic (via the runtime) on mismatched lengths, which in this code
+// base always indicates a partitioning bug rather than a recoverable error.
+package vec
+
+import "math"
+
+// Dot returns the inner product x·y of two equally long vectors.
+func Dot(x, y []float64) float64 {
+	var s float64
+	for i, xi := range x {
+		s += xi * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	for i, xi := range x {
+		y[i] += a * xi
+	}
+}
+
+// Axpby computes y = a*x + b*y in place.
+func Axpby(a float64, x []float64, b float64, y []float64) {
+	for i, xi := range x {
+		y[i] = a*xi + b*y[i]
+	}
+}
+
+// XpayInto computes dst = x + a*y. dst may alias x or y.
+func XpayInto(dst, x []float64, a float64, y []float64) {
+	for i := range dst {
+		dst[i] = x[i] + a*y[i]
+	}
+}
+
+// Scale multiplies x by a in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Copy copies src into dst (lengths must match).
+func Copy(dst, src []float64) {
+	copy(dst, src)
+}
+
+// Clone returns a freshly allocated copy of x.
+func Clone(x []float64) []float64 {
+	c := make([]float64, len(x))
+	copy(c, x)
+	return c
+}
+
+// Zero sets all entries of x to zero.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Fill sets all entries of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Norm2Sq returns the squared Euclidean norm of x.
+func Norm2Sq(x []float64) float64 {
+	return Dot(x, x)
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Norm2Sq(x))
+}
+
+// NormInf returns the maximum absolute entry of x (0 for empty x).
+func NormInf(x []float64) float64 {
+	var m float64
+	for _, xi := range x {
+		if a := math.Abs(xi); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Sub computes dst = x - y.
+func Sub(dst, x, y []float64) {
+	for i := range dst {
+		dst[i] = x[i] - y[i]
+	}
+}
+
+// Add computes dst = x + y.
+func Add(dst, x, y []float64) {
+	for i := range dst {
+		dst[i] = x[i] + y[i]
+	}
+}
+
+// MaxAbsDiff returns max_i |x[i]-y[i]|, a convenient trajectory-comparison
+// metric for reconstruction-exactness tests.
+func MaxAbsDiff(x, y []float64) float64 {
+	var m float64
+	for i := range x {
+		if d := math.Abs(x[i] - y[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Equalish reports whether x and y agree entrywise within absolute
+// tolerance tol.
+func Equalish(x, y []float64, tol float64) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	return MaxAbsDiff(x, y) <= tol
+}

@@ -1,0 +1,167 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDot(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, -5, 6}
+	if got := Dot(x, y); got != 1*4-2*5+3*6 {
+		t.Fatalf("Dot = %g, want 12", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil,nil) = %g, want 0", got)
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{10, 20, 30}
+	Axpy(2, x, y)
+	want := []float64{12, 24, 36}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy: y[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+}
+
+func TestAxpby(t *testing.T) {
+	x := []float64{1, 2}
+	y := []float64{3, 4}
+	Axpby(2, x, 3, y)
+	if y[0] != 11 || y[1] != 16 {
+		t.Fatalf("Axpby: got %v, want [11 16]", y)
+	}
+}
+
+func TestXpayInto(t *testing.T) {
+	x := []float64{1, 2}
+	y := []float64{10, 20}
+	dst := make([]float64, 2)
+	XpayInto(dst, x, 3, y)
+	if dst[0] != 31 || dst[1] != 62 {
+		t.Fatalf("XpayInto: got %v, want [31 62]", dst)
+	}
+	// Aliasing dst with y (the p-update pattern in PCG).
+	XpayInto(y, x, 3, y)
+	if y[0] != 31 || y[1] != 62 {
+		t.Fatalf("XpayInto aliased: got %v, want [31 62]", y)
+	}
+}
+
+func TestScaleZeroFillCopyClone(t *testing.T) {
+	x := []float64{1, 2, 3}
+	Scale(2, x)
+	if x[1] != 4 {
+		t.Fatalf("Scale: got %v", x)
+	}
+	c := Clone(x)
+	c[0] = 99
+	if x[0] == 99 {
+		t.Fatal("Clone must not share storage")
+	}
+	Fill(x, 7)
+	if x[2] != 7 {
+		t.Fatalf("Fill: got %v", x)
+	}
+	Zero(x)
+	if x[0] != 0 || x[1] != 0 || x[2] != 0 {
+		t.Fatalf("Zero: got %v", x)
+	}
+	dst := make([]float64, 3)
+	Copy(dst, c)
+	if dst[1] != c[1] {
+		t.Fatalf("Copy: got %v", dst)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	x := []float64{3, -4}
+	if got := Norm2(x); !almostEq(got, 5, 1e-15) {
+		t.Fatalf("Norm2 = %g, want 5", got)
+	}
+	if got := Norm2Sq(x); got != 25 {
+		t.Fatalf("Norm2Sq = %g, want 25", got)
+	}
+	if got := NormInf(x); got != 4 {
+		t.Fatalf("NormInf = %g, want 4", got)
+	}
+	if got := NormInf(nil); got != 0 {
+		t.Fatalf("NormInf(nil) = %g, want 0", got)
+	}
+}
+
+func TestSubAddMaxAbsDiff(t *testing.T) {
+	x := []float64{5, 7}
+	y := []float64{1, 2}
+	d := make([]float64, 2)
+	Sub(d, x, y)
+	if d[0] != 4 || d[1] != 5 {
+		t.Fatalf("Sub: got %v", d)
+	}
+	Add(d, x, y)
+	if d[0] != 6 || d[1] != 9 {
+		t.Fatalf("Add: got %v", d)
+	}
+	if got := MaxAbsDiff(x, y); got != 5 {
+		t.Fatalf("MaxAbsDiff = %g, want 5", got)
+	}
+}
+
+func TestEqualish(t *testing.T) {
+	if !Equalish([]float64{1, 2}, []float64{1, 2 + 1e-12}, 1e-10) {
+		t.Fatal("Equalish should accept tiny differences")
+	}
+	if Equalish([]float64{1}, []float64{1, 2}, 1) {
+		t.Fatal("Equalish must reject length mismatch")
+	}
+	if Equalish([]float64{1, 2}, []float64{1, 3}, 1e-10) {
+		t.Fatal("Equalish must reject large differences")
+	}
+}
+
+// Property: Dot is symmetric and bilinear against Axpy.
+func TestDotPropertySymmetry(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, v := range xs {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				xs[i] = 1
+			}
+		}
+		ys := make([]float64, len(xs))
+		for i := range ys {
+			ys[i] = float64(i%7) - 3
+		}
+		return almostEq(Dot(xs, ys), Dot(ys, xs), 1e-9*(1+math.Abs(Dot(xs, ys))))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ‖x‖² = x·x ≥ 0 and Norm2 is absolutely homogeneous.
+func TestNormProperties(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, v := range xs {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				xs[i] = 1
+			}
+		}
+		n := Norm2(xs)
+		if n < 0 {
+			return false
+		}
+		scaled := Clone(xs)
+		Scale(-2, scaled)
+		return almostEq(Norm2(scaled), 2*n, 1e-9*(1+2*n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
