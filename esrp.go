@@ -44,6 +44,7 @@ import (
 	"esrp/internal/ckptmodel"
 	"esrp/internal/cluster"
 	"esrp/internal/core"
+	"esrp/internal/dist"
 	"esrp/internal/harness"
 	"esrp/internal/matgen"
 	"esrp/internal/precond"
@@ -95,6 +96,33 @@ const (
 	// compatible with the exact state reconstruction.
 	PrecondIC0 = precond.IC0
 )
+
+// Data distribution (the block row partition of Section 2.2; internal/dist).
+type (
+	// Partition divides the global row range into contiguous per-node
+	// blocks; all redundancy machinery is defined relative to it.
+	Partition = dist.Partition
+	// PartitionQuality reports per-node load, imbalance factor and SpMV
+	// ghost-entry volume of a partition for one matrix.
+	PartitionQuality = dist.Quality
+)
+
+// NewBlockPartition returns the uniform block row partition of m rows over
+// n nodes — the paper's distribution.
+func NewBlockPartition(m, n int) *Partition { return dist.NewBlockPartition(m, n) }
+
+// NewBalancedPartition returns the contiguous partition minimizing the
+// maximum per-node weight (Config.BalanceNNZ uses this internally with
+// per-row cost weights).
+func NewBalancedPartition(weights []float64, n int) (*Partition, error) {
+	return dist.NewBalancedWeightPartition(weights, n)
+}
+
+// PartitionFromOffsets builds a partition from explicit part boundaries;
+// offsets[s] is node s's first row, offsets[len-1] the matrix size.
+func PartitionFromOffsets(offsets []int) (*Partition, error) {
+	return dist.FromOffsets(offsets)
+}
 
 // Solve runs one configured PCG solve on the simulated cluster.
 func Solve(cfg Config) (*Result, error) { return core.Solve(cfg) }

@@ -139,3 +139,46 @@ func TestGeneratorsProduceSPDStructure(t *testing.T) {
 		}
 	}
 }
+
+func TestPartitionAPI(t *testing.T) {
+	a := esrp.BandedSPD(300, 4, 2)
+	part := esrp.NewBlockPartition(a.Rows, 6)
+	if part.N != 6 || part.M != a.Rows {
+		t.Fatalf("block partition reports M=%d N=%d", part.M, part.N)
+	}
+	weights := make([]float64, a.Rows)
+	for i := range weights {
+		weights[i] = 1 + float64(i%7)
+	}
+	bal, err := esrp.NewBalancedPartition(weights, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := bal.Analyze(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Imbalance < 1 {
+		t.Fatalf("imbalance %g < 1", q.Imbalance)
+	}
+	fromOff, err := esrp.PartitionFromOffsets(part.Offsets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromOff.Equal(part) {
+		t.Fatalf("offsets round trip gave %v, want %v", fromOff, part)
+	}
+	if _, err := esrp.PartitionFromOffsets([]int{3, 1}); err == nil {
+		t.Fatal("invalid offsets accepted")
+	}
+
+	// BalanceNNZ is the solver-facing entry to the balanced layout.
+	b := esrp.RHSOnes(a.Rows)
+	res, err := esrp.Solve(esrp.Config{A: a, B: b, Nodes: 6, BalanceNNZ: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("balanced solve did not converge")
+	}
+}

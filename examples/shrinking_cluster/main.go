@@ -34,6 +34,28 @@ func main() {
 	failAt := ref.Iterations / 2
 	fmt.Printf("nodes %v die at iteration %d — and there are no spares.\n\n", failed, failAt)
 
+	// The repartitioning the recovery will perform: the survivor adjacent
+	// to the failed block adopts its rows.
+	part := esrp.NewBlockPartition(a.Rows, nodes)
+	survivors := make([]int, 0, nodes-len(failed))
+	for s := 0; s < nodes; s++ {
+		if s != failed[0] && s != failed[1] {
+			survivors = append(survivors, s)
+		}
+	}
+	shrunk, err := part.ShrinkAfterLoss(survivors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adopter := failed[len(failed)-1] + 1
+	fmt.Printf("node %d's range grows from %d to %d rows when it adopts rows [%d,%d)\n",
+		adopter, part.Size(adopter), shrunk.Size(adopter-len(failed)),
+		part.Lo(failed[0]), part.Hi(failed[len(failed)-1]))
+	before, _ := part.Analyze(a)
+	after, _ := shrunk.Analyze(a)
+	fmt.Printf("partition quality before: %v\n", before)
+	fmt.Printf("partition quality after:  %v\n\n", after)
+
 	res, err := esrp.Solve(esrp.Config{
 		A: a, B: b, Nodes: nodes,
 		Strategy: esrp.StrategyESRP, T: 15, Phi: 2,

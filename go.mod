@@ -1,0 +1,3 @@
+module esrp
+
+go 1.24

@@ -267,12 +267,7 @@ func (run *nodeRun) shrinkTo(sub *cluster.Node, survivors []int, adopter, flo, f
 	// New partition: survivors keep their ranges; the gap left by the
 	// failed block is absorbed by the next survivor (or the previous one
 	// when the block is at the top).
-	offsets := make([]int, len(survivors)+1)
-	for i, s := range survivors {
-		offsets[i+1] = run.part.Hi(s)
-	}
-	offsets[len(survivors)] = run.cfg.A.Rows
-	newPart, err := dist.FromOffsets(offsets)
+	newPart, err := run.part.ShrinkAfterLoss(survivors)
 	if err != nil {
 		panic(fmt.Sprintf("core: no-spare partition: %v", err))
 	}

@@ -78,6 +78,18 @@ func buildPartition(cfg *Config) (*dist.Partition, error) {
 	return dist.NewBalancedWeightPartition(weights, cfg.Nodes)
 }
 
+// PartitionFor returns the block row partition a solve of cfg would run on
+// (defaults applied): the uniform split, or the weight-balanced one with
+// cfg.BalanceNNZ. It exists so reporting layers can analyze the exact
+// distribution the solver uses instead of re-deriving the weight model.
+func PartitionFor(cfg Config) (*dist.Partition, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return buildPartition(&cfg)
+}
+
 // nodeRun is the per-node solver state.
 type nodeRun struct {
 	cfg  *Config

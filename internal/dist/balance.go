@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NewBalancedWeightPartition returns the contiguous partition of the
+// weighted indices into n parts that minimizes the maximum per-part weight
+// (the makespan of the block row distribution): the classic linear
+// partitioning problem, solved by parametric search over the feasible
+// capacity with a greedy packing oracle on prefix sums — O(m + n·log m·log)
+// rather than the O(m²n) dynamic program.
+//
+// Weights must be finite and non-negative; with fewer indices than parts
+// there is no partition giving every part work, so m ≥ n is required (the
+// solver enforces Nodes ≤ Rows for the same reason). Every part is
+// guaranteed at least one index, matching the seed's uniform splits where
+// preconditioner construction assumes non-empty local ranges.
+func NewBalancedWeightPartition(weights []float64, n int) (*Partition, error) {
+	m := len(weights)
+	if n < 1 {
+		return nil, fmt.Errorf("dist: part count must be ≥ 1, got %d", n)
+	}
+	if m < n {
+		return nil, fmt.Errorf("dist: cannot split %d indices into %d non-empty parts", m, n)
+	}
+	prefix := make([]float64, m+1)
+	var maxW float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("dist: weight %d is %g, want finite and ≥ 0", i, w)
+		}
+		prefix[i+1] = prefix[i] + w
+		if w > maxW {
+			maxW = w
+		}
+	}
+
+	// Parametric search on the capacity: the smallest cap for which the
+	// greedy packing fits every index into n parts. Feasibility is monotone
+	// in cap, so ~60 bisection steps pin it to the last representable bit.
+	lo, hi := maxW, prefix[m]
+	if greedyFits(prefix, n, lo) {
+		hi = lo
+	}
+	for iter := 0; iter < 64 && lo < hi; iter++ {
+		mid := lo + (hi-lo)/2
+		if mid <= lo || mid >= hi { // capacity interval collapsed to ulps
+			break
+		}
+		if greedyFits(prefix, n, mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	offsets := greedyOffsets(prefix, n, hi)
+	p := &Partition{M: m, N: n, offsets: offsets, blockQ: -1}
+	p.detectUniform()
+	return p, nil
+}
+
+// greedyFits reports whether every index fits into at most n contiguous
+// parts of weight ≤ cap, packing each part as full as possible. Each part
+// takes ≥ 1 index, so infeasibility can only come from leftover indices.
+func greedyFits(prefix []float64, n int, cap float64) bool {
+	m := len(prefix) - 1
+	b := 0
+	for s := 0; s < n; s++ {
+		e := packEnd(prefix, b, cap)
+		if reserve := m - (n - 1 - s); e > reserve {
+			e = reserve // leave ≥ 1 index for every remaining part
+		}
+		b = e
+	}
+	return b == m
+}
+
+// packEnd returns the largest e > b with prefix[e]-prefix[b] ≤ cap (at
+// least b+1: a single index heavier than cap still occupies its own part).
+func packEnd(prefix []float64, b int, cap float64) int {
+	m := len(prefix) - 1
+	target := prefix[b] + cap
+	// Smallest k with prefix[b+1+k] > target bounds the packing: every end
+	// e ≤ b+k keeps the part weight within cap.
+	e := b + sort.Search(m-b, func(k int) bool { return prefix[b+1+k] > target })
+	if e <= b {
+		e = b + 1
+	}
+	return e
+}
+
+// greedyOffsets materializes the greedy packing for a feasible capacity.
+func greedyOffsets(prefix []float64, n int, cap float64) []int {
+	m := len(prefix) - 1
+	offsets := make([]int, n+1)
+	b := 0
+	for s := 0; s < n; s++ {
+		e := packEnd(prefix, b, cap)
+		if reserve := m - (n - 1 - s); e > reserve {
+			e = reserve
+		}
+		offsets[s+1] = e
+		b = e
+	}
+	// A generous capacity can exhaust the indices early; the reserve clamp
+	// above then feeds the remaining parts one index each, but the final
+	// offset must always cover the range.
+	offsets[n] = m
+	return offsets
+}

@@ -1,0 +1,36 @@
+package dist
+
+import "fmt"
+
+// ShrinkAfterLoss maps the partition onto the surviving parts after a
+// permanent node loss, the repartitioning of the no-spare-node recovery
+// ([Pachajoa, Pacher, Gansterer 2019], ref. 22 of the paper): survivors
+// keep their ranges and their relative order; the range of every lost part
+// is absorbed by the next surviving part (the "adopter"), or by the last
+// survivor when the loss reaches the top of the range. The result has
+// len(survivors) parts and covers the same [0,M).
+//
+// survivors must be a strictly ascending, non-empty, proper-or-full subset
+// of [0,N).
+func (p *Partition) ShrinkAfterLoss(survivors []int) (*Partition, error) {
+	if len(survivors) == 0 {
+		return nil, fmt.Errorf("dist: shrink needs at least one survivor")
+	}
+	for i, s := range survivors {
+		if s < 0 || s >= p.N {
+			return nil, fmt.Errorf("dist: survivor %d outside [0,%d)", s, p.N)
+		}
+		if i > 0 && s <= survivors[i-1] {
+			return nil, fmt.Errorf("dist: survivors must be strictly ascending, got %v", survivors)
+		}
+	}
+	offsets := make([]int, len(survivors)+1)
+	for i, s := range survivors {
+		// New part i spans from the previous survivor's end to this
+		// survivor's end, absorbing any lost parts in between.
+		offsets[i+1] = p.Hi(s)
+	}
+	// Losses past the last survivor fall to it.
+	offsets[len(survivors)] = p.M
+	return FromOffsets(offsets)
+}

@@ -1,0 +1,81 @@
+package dist
+
+import "testing"
+
+func TestShrinkAfterLossMiddle(t *testing.T) {
+	p := NewBlockPartition(40, 4) // parts of 10
+	// Parts 1 and 2 are lost; survivor 3 (the adopter) absorbs [10,30).
+	q, err := p.ShrinkAfterLoss([]int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromOffsets([]int{0, 10, 40})
+	if !q.Equal(want) {
+		t.Fatalf("shrink gave %v, want %v", q, want)
+	}
+	checkTiling(t, q)
+}
+
+func TestShrinkAfterLossTop(t *testing.T) {
+	p := NewBlockPartition(40, 4)
+	// The top part is lost; the last survivor absorbs its range.
+	q, err := p.ShrinkAfterLoss([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromOffsets([]int{0, 10, 20, 40})
+	if !q.Equal(want) {
+		t.Fatalf("shrink gave %v, want %v", q, want)
+	}
+}
+
+func TestShrinkAfterLossBottom(t *testing.T) {
+	p := NewBlockPartition(40, 4)
+	// The bottom part is lost; the first survivor absorbs [0,10).
+	q, err := p.ShrinkAfterLoss([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromOffsets([]int{0, 20, 30, 40})
+	if !q.Equal(want) {
+		t.Fatalf("shrink gave %v, want %v", q, want)
+	}
+}
+
+func TestShrinkAllSurvive(t *testing.T) {
+	p := NewBlockPartition(21, 3)
+	q, err := p.ShrinkAfterLoss([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Equal(p) {
+		t.Fatalf("no-loss shrink changed the partition: %v vs %v", q, p)
+	}
+}
+
+func TestShrinkSingleSurvivor(t *testing.T) {
+	p := NewBlockPartition(30, 5)
+	q, err := p.ShrinkAfterLoss([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.N != 1 || q.Lo(0) != 0 || q.Hi(0) != 30 {
+		t.Fatalf("single survivor owns %v", q)
+	}
+}
+
+func TestShrinkErrors(t *testing.T) {
+	p := NewBlockPartition(30, 5)
+	for _, bad := range [][]int{
+		nil,
+		{},
+		{-1, 2},
+		{2, 5},
+		{3, 2},
+		{2, 2},
+	} {
+		if _, err := p.ShrinkAfterLoss(bad); err == nil {
+			t.Fatalf("ShrinkAfterLoss(%v) accepted", bad)
+		}
+	}
+}

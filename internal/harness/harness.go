@@ -20,6 +20,7 @@ import (
 
 	"esrp/internal/cluster"
 	"esrp/internal/core"
+	"esrp/internal/dist"
 	"esrp/internal/precond"
 	"esrp/internal/sparse"
 )
@@ -83,6 +84,12 @@ type Spec struct {
 	MaxIter   int                // per-run iteration cap (0 = solver default)
 	CostModel *cluster.CostModel // nil = cluster default
 	Precond   precond.Kind       // zero value = block Jacobi
+
+	// BalanceNNZ runs the whole constellation on the weight-balanced block
+	// row distribution instead of the paper's uniform split (see
+	// dist.NewBalancedWeightPartition); the report then carries the quality
+	// of the balanced layout.
+	BalanceNNZ bool
 }
 
 func (s Spec) withDefaults() (Spec, error) {
@@ -169,6 +176,11 @@ type Report struct {
 	RefIters int     // C: iterations of the reference run
 	RefDrift float64 // residual drift of the reference (Eq. 2)
 
+	// Partition describes the quality (per-node nonzero load, imbalance
+	// factor, SpMV ghost volume) of the block row distribution the runs
+	// used — the uniform split, or the balanced one with Spec.BalanceNNZ.
+	Partition *dist.Quality
+
 	ESRP []Cell // sorted by (T, φ); T = 1 entries are plain ESR
 	IMCR []Cell // sorted by (T, φ); no T = 1 entry
 }
@@ -196,6 +208,9 @@ func Run(spec Spec) (*Report, error) {
 		return nil, err
 	}
 	rep := &Report{Spec: spec}
+	if rep.Partition, err = partitionQuality(spec); err != nil {
+		return nil, fmt.Errorf("harness: partition diagnostics: %w", err)
+	}
 
 	ref, err := runMedian(spec, core.Config{Strategy: core.StrategyNone}, spec.Reps)
 	if err != nil {
@@ -285,18 +300,38 @@ func runCell(spec Spec, strat core.Strategy, t, phi int, rep *Report) (*Cell, er
 
 func overhead(t, t0 float64) float64 { return (t - t0) / t0 }
 
+// partitionQuality analyzes the block row distribution the spec's runs use,
+// asking the solver for it (core.PartitionFor) so the report never drifts
+// from the distribution actually executed.
+func partitionQuality(spec Spec) (*dist.Quality, error) {
+	part, err := core.PartitionFor(spec.config(core.Config{}))
+	if err != nil {
+		return nil, err
+	}
+	return part.Analyze(spec.Matrix)
+}
+
+// config completes a strategy skeleton with the spec's problem and solver
+// settings — the single source of the Spec→Config mapping, shared by the
+// runs and the partition diagnostics.
+func (s Spec) config(cfg core.Config) core.Config {
+	cfg.A = s.Matrix
+	cfg.B = s.B
+	cfg.Nodes = s.Nodes
+	cfg.Rtol = s.Rtol
+	cfg.InnerRtol = s.InnerRtol
+	cfg.MaxBlock = s.MaxBlock
+	cfg.MaxIter = s.MaxIter
+	cfg.PrecondKind = s.Precond
+	cfg.CostModel = s.CostModel
+	cfg.BalanceNNZ = s.BalanceNNZ
+	return cfg
+}
+
 // runMedian completes the config from the spec, runs it Reps times, and
 // returns the run whose simulated time is the median.
 func runMedian(spec Spec, cfg core.Config, reps int) (*core.Result, error) {
-	cfg.A = spec.Matrix
-	cfg.B = spec.B
-	cfg.Nodes = spec.Nodes
-	cfg.Rtol = spec.Rtol
-	cfg.InnerRtol = spec.InnerRtol
-	cfg.MaxBlock = spec.MaxBlock
-	cfg.MaxIter = spec.MaxIter
-	cfg.PrecondKind = spec.Precond
-	cfg.CostModel = spec.CostModel
+	cfg = spec.config(cfg)
 
 	results := make([]*core.Result, 0, reps)
 	for i := 0; i < reps; i++ {

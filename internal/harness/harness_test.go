@@ -209,3 +209,63 @@ func TestRenderFigureASCII(t *testing.T) {
 		t.Errorf("degenerate figure: %q", empty)
 	}
 }
+
+func TestRunReportsPartitionQuality(t *testing.T) {
+	spec := smallSpec()
+	spec.Ts = []int{1}
+	spec.Phis = []int{1}
+	rep, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partition == nil {
+		t.Fatal("report lacks partition diagnostics")
+	}
+	// Poisson2D is structurally uniform: the uniform split is near-perfect.
+	if rep.Partition.Imbalance < 1 || rep.Partition.Imbalance > 1.1 {
+		t.Fatalf("uniform Poisson partition imbalance %g", rep.Partition.Imbalance)
+	}
+	if rep.Partition.GhostTotal <= 0 {
+		t.Fatalf("ghost volume %d, want > 0 on a distributed stencil", rep.Partition.GhostTotal)
+	}
+	if s := Summary(rep); !strings.Contains(s, "partition (uniform") {
+		t.Fatalf("Summary lacks the partition line:\n%s", s)
+	}
+}
+
+func TestRunBalancedSpec(t *testing.T) {
+	spec := smallSpec()
+	spec.Ts = []int{10}
+	spec.Phis = []int{1}
+	spec.BalanceNNZ = true
+	rep, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partition == nil {
+		t.Fatal("report lacks partition diagnostics")
+	}
+	if s := Summary(rep); !strings.Contains(s, "partition (nnz-balanced") {
+		t.Fatalf("Summary lacks the balanced partition line:\n%s", s)
+	}
+	// The reported quality must describe the partition the solver ran on,
+	// not a re-derivation with different weights.
+	part, err := core.PartitionFor(rep.Spec.config(core.Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := part.Analyze(rep.Spec.Matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.MaxLoad != rep.Partition.MaxLoad || q.GhostTotal != rep.Partition.GhostTotal {
+		t.Fatalf("report quality %v differs from the solver's partition %v", rep.Partition, q)
+	}
+	for _, c := range rep.ESRP {
+		for _, f := range c.Fail {
+			if !f.Converged {
+				t.Fatalf("balanced ESRP T=%d φ=%d %v did not converge", c.T, c.Phi, f.Location)
+			}
+		}
+	}
+}

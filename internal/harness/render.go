@@ -194,6 +194,13 @@ func medianFailOverhead(c *Cell) float64 {
 func Summary(r *Report) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: reference %d iterations, t0 = %.4g s (simulated)\n", r.Spec.Name, r.RefIters, r.RefTime)
+	if r.Partition != nil {
+		layout := "uniform"
+		if r.Spec.BalanceNNZ {
+			layout = "nnz-balanced"
+		}
+		fmt.Fprintf(&b, "  partition (%s, %d nodes): %s\n", layout, r.Spec.Nodes, r.Partition)
+	}
 	if esr := findPhi(cellsWithT(r.ESRP, 1), r.Spec.Phis[0]); esr != nil {
 		fmt.Fprintf(&b, "  ESR    (T=1,  φ=%d): failure-free overhead %6.2f%%\n", r.Spec.Phis[0], 100*esr.FFOverhead)
 	}
