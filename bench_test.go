@@ -334,6 +334,56 @@ func BenchmarkSpMVExchange(b *testing.B) {
 	}
 }
 
+// BenchmarkExchangeOverlap compares the blocking halo exchange against the
+// overlapped Start/Finish halves on both matrix analogs: same iterates and
+// traffic, different simulated clock. Reported metrics are the modeled
+// runtime (simsec/solve — the gap is what hiding the halo behind the
+// interior-rows product buys at default LogGP parameters), the end-of-solve
+// per-node footprint, and host allocs/op for the steady-state data path.
+//
+// 4 nodes, not benchNodes: overlap needs interior rows to hide the halo
+// behind, i.e. slabs thicker than the stencil's coupling depth. At 16 nodes
+// the reduced-scale analogs degenerate to one stencil plane per node (pure
+// surface, zero interior rows) and the two modes coincide by construction.
+func BenchmarkExchangeOverlap(b *testing.B) {
+	const overlapNodes = 4
+	for _, mat := range []struct {
+		name string
+		a    *esrp.CSR
+	}{
+		{"EmiliaLike", benchEmilia()},
+		{"AudikwLike", benchAudikw()},
+	} {
+		rhs := esrp.RHSOnes(mat.a.Rows)
+		for _, mode := range []struct {
+			name     string
+			blocking bool
+		}{
+			{"blocking", true},
+			{"overlapped", false},
+		} {
+			b.Run(mat.name+"/"+mode.name, func(b *testing.B) {
+				b.ReportAllocs()
+				var sim float64
+				var mem int64
+				for i := 0; i < b.N; i++ {
+					res, err := esrp.Solve(esrp.Config{
+						A: mat.a, B: rhs, Nodes: overlapNodes,
+						MaxIter: 60, Rtol: 1e-30, // fixed-length run: pure data-path cost
+						BlockingExchange: mode.blocking,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					sim, mem = res.SimTime, res.MaxNodeBytes
+				}
+				b.ReportMetric(sim, "simsec/solve")
+				b.ReportMetric(float64(mem), "nodebytes")
+			})
+		}
+	}
+}
+
 // BenchmarkPipelinedVsStandard compares standard PCG (two synchronizing
 // collectives per iteration) with the pipelined variant (one) in a normal
 // and a latency-dominated regime, reporting modeled time per iteration.

@@ -105,7 +105,8 @@ func main() {
 	}
 	fmt.Printf("residual drift (Eq. 2): %.3e\n", res.Drift)
 	if *verbose {
-		fmt.Printf("traffic: %d messages, %d payload bytes\n", res.MsgsSent, res.BytesSent)
+		fmt.Printf("traffic: %d messages, %d payload bytes (%d halo)\n", res.MsgsSent, res.BytesSent, res.HaloBytes)
+		fmt.Printf("per-node memory: %d bytes max (O(local+halo))\n", res.MaxNodeBytes)
 		fmt.Printf("recorded %d residuals\n", len(res.Residuals))
 	}
 	if !res.Converged {

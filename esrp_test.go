@@ -182,3 +182,46 @@ func TestPartitionAPI(t *testing.T) {
 		t.Fatal("balanced solve did not converge")
 	}
 }
+
+// TestOverlapFasterOnBenchAnalogs is the public acceptance check of the
+// overlapped halo exchange: on the benchmark matrix analogs, at default
+// LogGP parameters and a node count whose slabs have interior rows, the
+// overlapped exchange must yield a strictly lower simulated runtime than the
+// blocking ablation while reporting identical traffic.
+func TestOverlapFasterOnBenchAnalogs(t *testing.T) {
+	for _, m := range []struct {
+		name string
+		a    *esrp.CSR
+	}{
+		{"EmiliaLike", esrp.EmiliaLike(16, 16, 16, 923)},
+		{"AudikwLike", esrp.AudikwLike(12, 12, 12, 3, 944)},
+	} {
+		rhs := esrp.RHSOnes(m.a.Rows)
+		run := func(blocking bool) *esrp.Result {
+			res, err := esrp.Solve(esrp.Config{
+				A: m.a, B: rhs, Nodes: 4,
+				MaxIter: 40, Rtol: 1e-30,
+				BlockingExchange: blocking,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		block, over := run(true), run(false)
+		if over.SimTime >= block.SimTime {
+			t.Errorf("%s: overlapped %.9f simsec not strictly below blocking %.9f",
+				m.name, over.SimTime, block.SimTime)
+		}
+		if over.HaloBytes != block.HaloBytes || over.BytesSent != block.BytesSent {
+			t.Errorf("%s: traffic differs between modes", m.name)
+		}
+		// ~6 local vector blocks of n/4 entries plus the halo: well below the
+		// 6 full-length vectors a pFull-style node would need, but above one
+		// full vector at this small node count — the strict locality bound is
+		// asserted at 16 nodes in core's TestPerNodeMemoryIsLocal.
+		if over.MaxNodeBytes <= 0 || over.MaxNodeBytes >= int64(8*m.a.Rows)*3 {
+			t.Errorf("%s: per-node memory %d B not in (0, 3 full vectors)", m.name, over.MaxNodeBytes)
+		}
+	}
+}

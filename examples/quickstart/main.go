@@ -39,6 +39,8 @@ func main() {
 	fmt.Printf("recovered from the failure at iteration %d; rolled back to %d (%d iterations re-done)\n",
 		50, res.RecoveredAt, res.WastedIters)
 	fmt.Printf("simulated runtime %.4g s, recovery cost %.4g s\n", res.SimTime, res.RecoveryTime)
+	fmt.Printf("per-node memory %d B (O(local+halo)), measured halo traffic %d B\n",
+		res.MaxNodeBytes, res.HaloBytes)
 
 	maxErr := 0.0
 	for i := range xstar {

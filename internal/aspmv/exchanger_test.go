@@ -1,0 +1,194 @@
+package aspmv
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"esrp/internal/cluster"
+	"esrp/internal/dist"
+	"esrp/internal/matgen"
+	"esrp/internal/sparse"
+)
+
+// assembleCompact runs the compact Start/Finish exchange on every rank of a
+// simulated cluster and returns each rank's owned+ghost buffer.
+func assembleCompact(t *testing.T, a *sparse.CSR, plan *Plan, x []float64, augmented bool) ([][]float64, []ReceivedCopy) {
+	t.Helper()
+	n := plan.Part.N
+	bufs := make([][]float64, n)
+	copies := make([]ReceivedCopy, n)
+	var mu sync.Mutex
+	c := cluster.New(n, testModel())
+	err := c.Run(func(nd *cluster.Node) {
+		s := nd.Rank()
+		lo, hi := plan.Part.Lo(s), plan.Part.Hi(s)
+		m := hi - lo
+		ex := plan.NewExchanger(s)
+		buf := make([]float64, m+ex.GhostLen())
+		copy(buf[:m], x[lo:hi])
+		var rc ReceivedCopy
+		if augmented {
+			ex.StartAugmented(nd, buf[:m])
+			rc = ex.FinishAugmented(nd, buf[m:], 3)
+		} else {
+			ex.Start(nd, buf[:m])
+			ex.Finish(nd, buf[m:])
+		}
+		mu.Lock()
+		bufs[s], copies[s] = buf, rc
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bufs, copies
+}
+
+// TestExchangerMatchesExchange checks the compact Start/Finish halves
+// against the full-length reference Exchange: the assembled owned+ghost
+// buffer must hold exactly the entries the full-length path scatters.
+func TestExchangerMatchesExchange(t *testing.T) {
+	a := matgen.Poisson2D(14, 11)
+	part := dist.NewBlockPartition(a.Rows, 6)
+	plan, err := NewPlan(a, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	x := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	bufs, _ := assembleCompact(t, a, plan, x, false)
+	for s := 0; s < part.N; s++ {
+		lo, hi := part.Lo(s), part.Hi(s)
+		m := hi - lo
+		ghost := plan.Ghost(s)
+		if len(bufs[s]) != m+len(ghost) {
+			t.Fatalf("rank %d buffer length %d, want %d", s, len(bufs[s]), m+len(ghost))
+		}
+		for g, gi := range ghost {
+			if bufs[s][m+g] != x[gi] {
+				t.Fatalf("rank %d ghost slot %d (global %d): got %v, want %v", s, g, gi, bufs[s][m+g], x[gi])
+			}
+		}
+	}
+}
+
+// TestExchangerAugmentedMatchesExchangeAugmented checks that the compact
+// augmented exchange assembles bitwise the same ReceivedCopy as the
+// full-length reference path, including the shared static index layout.
+func TestExchangerAugmentedMatchesExchangeAugmented(t *testing.T) {
+	a := matgen.Poisson2D(12, 12)
+	part := dist.NewBlockPartition(a.Rows, 6)
+	plan, err := NewPlan(a, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Augment(2); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+
+	// Reference: full-length ExchangeAugmented.
+	ref := make([]ReceivedCopy, part.N)
+	var mu sync.Mutex
+	c := cluster.New(part.N, testModel())
+	if err := c.Run(func(nd *cluster.Node) {
+		full := make([]float64, a.Rows)
+		lo, hi := part.Lo(nd.Rank()), part.Hi(nd.Rank())
+		copy(full[lo:hi], x[lo:hi])
+		rc := plan.ExchangeAugmented(nd, full, 3)
+		mu.Lock()
+		ref[nd.Rank()] = rc
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	_, got := assembleCompact(t, a, plan, x, true)
+	for s := 0; s < part.N; s++ {
+		if got[s].Iter != 3 {
+			t.Fatalf("rank %d: Iter = %d", s, got[s].Iter)
+		}
+		if len(got[s].Idx) != len(ref[s].Idx) || len(got[s].Val) != len(ref[s].Val) {
+			t.Fatalf("rank %d: copy sizes (%d,%d) want (%d,%d)", s,
+				len(got[s].Idx), len(got[s].Val), len(ref[s].Idx), len(ref[s].Val))
+		}
+		for k := range ref[s].Idx {
+			if got[s].Idx[k] != ref[s].Idx[k] || got[s].Val[k] != ref[s].Val[k] {
+				t.Fatalf("rank %d entry %d: got (%d,%v), want (%d,%v)", s, k,
+					got[s].Idx[k], got[s].Val[k], ref[s].Idx[k], ref[s].Val[k])
+			}
+		}
+		if len(got[s].Idx) > 0 && &got[s].Idx[0] != &ref[s].Idx[0] {
+			t.Fatalf("rank %d: Idx must be the plan's shared static layout", s)
+		}
+	}
+}
+
+// TestExchangerRecyclesValBuffers pins the satellite fix for the
+// per-iteration allocation churn: a value buffer handed back via Recycle is
+// reused by the next FinishAugmented instead of allocating a fresh one.
+func TestExchangerRecyclesValBuffers(t *testing.T) {
+	a := matgen.Poisson2D(10, 10)
+	part := dist.NewBlockPartition(a.Rows, 4)
+	plan, err := NewPlan(a, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Augment(1); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	c := cluster.New(part.N, testModel())
+	if err := c.Run(func(nd *cluster.Node) {
+		s := nd.Rank()
+		lo, hi := part.Lo(s), part.Hi(s)
+		m := hi - lo
+		ex := plan.NewExchanger(s)
+		buf := make([]float64, m+ex.GhostLen())
+		copy(buf[:m], x[lo:hi])
+
+		ex.StartAugmented(nd, buf[:m])
+		rc1 := ex.FinishAugmented(nd, buf[m:], 0)
+		ex.Recycle(rc1.Val)
+		ex.StartAugmented(nd, buf[:m])
+		rc2 := ex.FinishAugmented(nd, buf[m:], 1)
+		if len(rc1.Val) > 0 && &rc1.Val[0] != &rc2.Val[0] {
+			panic("recycled value buffer was not reused")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExchangerGuards covers the misuse panics.
+func TestExchangerGuards(t *testing.T) {
+	a := matgen.Poisson2D(8, 8)
+	part := dist.NewBlockPartition(a.Rows, 2)
+	plan, err := NewPlan(a, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := plan.NewExchanger(0)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Finish without Start", func() { ex.Finish(nil, nil) })
+	mustPanic("FinishAugmented without Start", func() { ex.FinishAugmented(nil, nil, 0) })
+	mustPanic("StartAugmented on plain plan", func() { ex.StartAugmented(nil, nil) })
+}

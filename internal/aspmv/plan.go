@@ -46,6 +46,10 @@ type Plan struct {
 	ExtraSend [][]Transfer
 	// ExtraRecv mirrors ExtraSend.
 	ExtraRecv [][]Transfer
+
+	// views[s] is rank s's compact local view (ghost index maps, per-transfer
+	// offsets, static ReceivedCopy layout); see exchanger.go.
+	views []localView
 }
 
 // Designated returns d_{s,k}, the k-th designated destination node (1-based
@@ -116,6 +120,7 @@ func NewPlan(a *sparse.CSR, part *dist.Partition) (*Plan, error) {
 	for s := 0; s < n; s++ {
 		sort.Slice(p.Send[s], func(i, j int) bool { return p.Send[s][i].Peer < p.Send[s][j].Peer })
 	}
+	p.buildViews()
 	return p, nil
 }
 
@@ -203,6 +208,7 @@ func (p *Plan) Augment(phi int) error {
 			return p.ExtraRecv[s][i].Peer < p.ExtraRecv[s][j].Peer
 		})
 	}
+	p.buildViews()
 	return nil
 }
 
@@ -260,6 +266,7 @@ func (p *Plan) AugmentNaive(phi int) error {
 			return p.ExtraRecv[s][i].Peer < p.ExtraRecv[s][j].Peer
 		})
 	}
+	p.buildViews()
 	return nil
 }
 
@@ -355,6 +362,9 @@ func (p *Plan) Exchange(nd *cluster.Node, x []float64) {
 // every input-vector entry it received (plain ghost entries and resilient
 // copies alike), keyed by sorted global index. It is one queue slot's worth
 // of one node's share of the distributed redundant copy p′ of the paper.
+//
+// Idx is the plan's static per-rank layout, shared by every copy the rank
+// assembles — treat it as read-only. Only Val is per-iteration data.
 type ReceivedCopy struct {
 	Iter int // solver iteration the copy belongs to
 	Idx  []int
@@ -370,9 +380,12 @@ func (c *ReceivedCopy) Lookup(lo, hi int) (idx []int, val []float64) {
 	return c.Idx[b:e], c.Val[b:e]
 }
 
-// ExchangeAugmented performs the ASpMV exchange: the plain halo traffic plus
-// the resilient copies. It returns the ReceivedCopy this node must retain
-// (push into its redundancy queue) for iteration iter.
+// ExchangeAugmented performs the ASpMV exchange on a full-length vector: the
+// plain halo traffic plus the resilient copies. It returns the ReceivedCopy
+// this node must retain (push into its redundancy queue) for iteration iter.
+// The copy's Idx is the plan's precomputed sorted layout and its Val buffer
+// is allocated with exact capacity — no per-iteration sorting or growth.
+// The compact-buffer equivalent is Exchanger.StartAugmented/FinishAugmented.
 func (p *Plan) ExchangeAugmented(nd *cluster.Node, x []float64, iter int) ReceivedCopy {
 	if p.Phi < 1 {
 		panic("aspmv: ExchangeAugmented on a non-augmented plan")
@@ -384,39 +397,23 @@ func (p *Plan) ExchangeAugmented(nd *cluster.Node, x []float64, iter int) Receiv
 	for _, t := range p.ExtraSend[s] {
 		nd.Send(t.Peer, TagExtra, gatherEntries(x, t.Idx))
 	}
-	var rc ReceivedCopy
-	rc.Iter = iter
-	for _, t := range p.Recv[s] {
+	v := &p.views[s]
+	rc := ReceivedCopy{Iter: iter, Idx: v.copyIdx, Val: make([]float64, len(v.copyIdx))}
+	for ti, t := range p.Recv[s] {
 		vals := nd.Recv(t.Peer, TagHalo)
 		scatterEntries(x, t.Idx, vals)
-		rc.Idx = append(rc.Idx, t.Idx...)
-		rc.Val = append(rc.Val, vals...)
+		for k, pos := range v.copyPos[ti] {
+			rc.Val[pos] = vals[k]
+		}
 	}
-	for _, t := range p.ExtraRecv[s] {
+	nPlain := len(p.Recv[s])
+	for ti, t := range p.ExtraRecv[s] {
 		vals := nd.Recv(t.Peer, TagExtra)
-		rc.Idx = append(rc.Idx, t.Idx...)
-		rc.Val = append(rc.Val, vals...)
+		for k, pos := range v.copyPos[nPlain+ti] {
+			rc.Val[pos] = vals[k]
+		}
 	}
-	sortCopy(&rc)
 	return rc
-}
-
-func sortCopy(rc *ReceivedCopy) {
-	if sort.IntsAreSorted(rc.Idx) {
-		return
-	}
-	ord := make([]int, len(rc.Idx))
-	for i := range ord {
-		ord[i] = i
-	}
-	sort.Slice(ord, func(a, b int) bool { return rc.Idx[ord[a]] < rc.Idx[ord[b]] })
-	idx := make([]int, len(ord))
-	val := make([]float64, len(ord))
-	for i, o := range ord {
-		idx[i] = rc.Idx[o]
-		val[i] = rc.Val[o]
-	}
-	rc.Idx, rc.Val = idx, val
 }
 
 func gatherEntries(x []float64, idx []int) []float64 {

@@ -27,14 +27,28 @@ func (q *Queue) Depth() int { return q.depth }
 // Len returns the number of copies currently held.
 func (q *Queue) Len() int { return len(q.slots) }
 
-// Push inserts the copy as newest, dropping the oldest if full.
-func (q *Queue) Push(c ReceivedCopy) {
+// Push inserts the copy as newest, dropping the oldest if full. The evicted
+// copy (ok=true) is returned so callers can recycle its value buffer via
+// Exchanger.Recycle.
+func (q *Queue) Push(c ReceivedCopy) (evicted ReceivedCopy, ok bool) {
 	if len(q.slots) == q.depth {
+		evicted, ok = q.slots[0], true
 		copy(q.slots, q.slots[1:])
 		q.slots[q.depth-1] = c
-		return
+		return evicted, ok
 	}
 	q.slots = append(q.slots, c)
+	return ReceivedCopy{}, false
+}
+
+// ValBytes returns the bytes held in the queued copies' value buffers (the
+// index layouts are plan-static and shared, so they are not counted).
+func (q *Queue) ValBytes() int64 {
+	var b int64
+	for i := range q.slots {
+		b += 8 * int64(len(q.slots[i].Val))
+	}
+	return b
 }
 
 // Iters returns the iteration numbers of the held copies, oldest first.

@@ -18,6 +18,11 @@
 //   - a point-to-point message costs the sender Overhead and delivers at
 //     send-clock + Latency + bytes·BytePeriod (the receiver's clock becomes
 //     the max of its own clock and the delivery time);
+//   - nonblocking point-to-point (ISend, IRecv+Wait) uses the same costs,
+//     but because the receiver's clock only advances to the delivery time at
+//     Wait, any Compute between the post and the Wait overlaps with the
+//     modeled message flight — communication the application hides behind
+//     local work is hidden in the simulated runtime too;
 //   - collectives over n nodes synchronize all participants to
 //     max(clocks) + ⌈log₂ n⌉·(Latency + bytes·BytePeriod).
 //
@@ -355,6 +360,50 @@ func (nd *Node) Recv(src, tag int) []float64 {
 	return nd.recv(src, tag, true).floats
 }
 
+// Request is the handle of a nonblocking receive posted with IRecv. The zero
+// value is invalid; requests are single-use and must not be shared across
+// goroutines (like every Node method, they belong to the node's goroutine).
+type Request struct {
+	nd       *Node
+	src, tag int
+	done     bool
+	floats   []float64
+}
+
+// ISend transmits floats to view-rank dst without blocking. The payload is
+// captured at post time (the simulated NIC owns a copy), so the caller may
+// reuse the buffer immediately — the MPI_Isend+MPI_Wait pair collapses into
+// one call under this machine model. The sender's clock is charged the
+// per-message Overhead at post, exactly as for Send.
+func (nd *Node) ISend(dst, tag int, floats []float64) {
+	nd.send(dst, tag, floats, nil, true)
+}
+
+// IRecv posts a nonblocking receive for a message from view-rank src with
+// the given tag. Posting is free on the simulated clock; the LogGP delivery
+// cost is applied by Wait. Compute performed between IRecv and Wait
+// genuinely hides the message latency: the clock at Wait becomes
+// max(own clock, sender clock + Latency + bytes·BytePeriod), so local work
+// advancing the own clock overlaps with the modeled message flight instead
+// of stacking on top of it.
+func (nd *Node) IRecv(src, tag int) Request {
+	return Request{nd: nd, src: src, tag: tag}
+}
+
+// Wait completes the receive, advancing the node's clock to the modeled
+// delivery time if the message is still in flight, and returns the payload.
+// Waiting twice returns the same payload without further clock effect.
+func (r *Request) Wait() []float64 {
+	if r.nd == nil {
+		panic("cluster: Wait on a zero Request")
+	}
+	if !r.done {
+		r.floats = r.nd.recv(r.src, r.tag, true).floats
+		r.done = true
+	}
+	return r.floats
+}
+
 // RecvFI receives a float plus integer payload.
 func (nd *Node) RecvFI(src, tag int) ([]float64, []int) {
 	m := nd.recv(src, tag, true)
@@ -401,7 +450,7 @@ const (
 // over n participants: ⌈log₂ n⌉ rounds of latency plus serialization.
 func (nd *Node) collectiveCost(bytes int) float64 {
 	n := nd.Size()
-	rounds := math.Ceil(math.Log2(float64(maxInt(n, 2))))
+	rounds := math.Ceil(math.Log2(float64(max(n, 2))))
 	return rounds * (nd.comm.model.Latency + nd.comm.model.Overhead + float64(bytes)*nd.comm.model.BytePeriod)
 }
 
@@ -509,14 +558,7 @@ func (nd *Node) Gather(root int, data []float64) [][]float64 {
 		}
 		totalBytes += 8 * (len(m.floats) - 1)
 	}
-	nd.state.clock = tmax + nd.comm.model.Latency*math.Ceil(math.Log2(float64(maxInt(n, 2)))) +
+	nd.state.clock = tmax + nd.comm.model.Latency*math.Ceil(math.Log2(float64(max(n, 2)))) +
 		float64(totalBytes)*nd.comm.model.BytePeriod
 	return out
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -395,3 +395,72 @@ func TestDefaultCostModelSane(t *testing.T) {
 		t.Fatal("latency should dominate per-message overhead")
 	}
 }
+
+// TestNonblockingOverlapHidesLatency pins the LogGP semantics of IRecv+Wait:
+// compute between the post and the wait overlaps with the message flight, so
+// the overlapped receiver finishes at max(compute, delivery)+tail instead of
+// delivery+compute+tail.
+func TestNonblockingOverlapHidesLatency(t *testing.T) {
+	model := testModel()
+	payload := []float64{1, 2, 3, 4}
+	bytes := float64(8 * len(payload))
+	delivery := model.Overhead + model.Latency + bytes*model.BytePeriod
+
+	run := func(overlap bool) float64 {
+		var clock float64
+		c := New(2, model)
+		err := c.Run(func(nd *Node) {
+			if nd.Rank() == 0 {
+				nd.ISend(1, 5, payload)
+				return
+			}
+			const flops = 1e4
+			req := nd.IRecv(0, 5)
+			if overlap {
+				nd.Compute(flops) // hidden behind the flight
+				req.Wait()
+			} else {
+				req.Wait()
+				nd.Compute(flops) // stacked on top of the delivery
+			}
+			clock = nd.Clock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return clock
+	}
+
+	compute := 1e4 * model.FlopTime
+	if got, want := run(true), math.Max(compute, delivery); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("overlapped clock %v, want max(compute, delivery) = %v", got, want)
+	}
+	if got, want := run(false), delivery+compute; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("blocking clock %v, want delivery+compute = %v", got, want)
+	}
+	if run(true) >= run(false) {
+		t.Fatal("overlap must yield a strictly lower clock when both compute and flight are nonzero")
+	}
+}
+
+// TestWaitIsIdempotent checks that a second Wait returns the same payload
+// without advancing the clock again.
+func TestWaitIsIdempotent(t *testing.T) {
+	c := New(2, testModel())
+	err := c.Run(func(nd *Node) {
+		if nd.Rank() == 0 {
+			nd.ISend(1, 9, []float64{7})
+			return
+		}
+		req := nd.IRecv(0, 9)
+		first := req.Wait()
+		clock := nd.Clock()
+		second := req.Wait()
+		if &first[0] != &second[0] || nd.Clock() != clock {
+			panic("second Wait must be a no-op")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -144,6 +144,14 @@ type Config struct {
 	// works unchanged: it only requires contiguous ownership.
 	BalanceNNZ bool
 
+	// BlockingExchange disables the overlap of the interior-rows product
+	// with the in-flight halo exchange: the SpMV waits for all ghost entries
+	// before computing any row, as the pre-overlap implementation did. The
+	// numerical trajectory is identical either way (the same per-row sums in
+	// the same order); only the simulated clock differs. Ablation knob for
+	// measuring what the overlap buys (see BenchmarkExchangeOverlap).
+	BlockingExchange bool
+
 	// ResidualReplacementInterval R > 0 replaces the recurrence residual
 	// with the true residual b − A·x every R productive iterations (van der
 	// Vorst & Ye, ref. 27 of the paper), curbing the residual drift that
@@ -273,6 +281,18 @@ type Result struct {
 
 	BytesSent int64 // total point-to-point payload volume
 	MsgsSent  int64
+
+	// MaxNodeBytes is the largest per-node dynamic solver footprint (local
+	// vector blocks, owned+ghost SpMV buffer, redundant storage) over all
+	// nodes, sampled at the end of the solve — O(n/s + halo), independent
+	// of the global size, now that no solver path holds a full-length
+	// vector after setup. Transient recovery scratch (e.g. the no-spare
+	// adopter's repartitioning buffers) is not captured by the sample.
+	MaxNodeBytes int64
+	// HaloBytes is the measured halo payload volume (plain ghost entries
+	// plus resilient copies) actually shipped by the SpMV exchanges, summed
+	// over nodes — as opposed to the planned volume of aspmv.ExtraTraffic.
+	HaloBytes int64
 
 	Residuals []float64 // per-iteration ‖r‖/‖b‖ if RecordResiduals
 }

@@ -55,7 +55,8 @@ func (run *nodeRun) innerSolve(failed []int, flo, fhi int, w []float64) {
 	if err != nil {
 		panic(fmt.Sprintf("core: inner plan: %v", err))
 	}
-	x := innerPCG(sub, asub, iplan, ipart, run.pc, w, run.cfg.InnerRtol, maxIter)
+	x, halo := innerPCG(sub, asub, iplan, ipart, run.pc, w, run.cfg.InnerRtol, maxIter, run.cfg.BlockingExchange)
+	run.ex.AddHaloBytes(halo) // the reconstruction's SpMV halo counts too
 	copy(run.x, x)
 }
 
@@ -79,7 +80,7 @@ func (run *nodeRun) innerSolveGathered(sub *cluster.Node, asub *sparse.CSR, ipar
 			panic(fmt.Sprintf("core: sequential inner preconditioner: %v", err))
 		}
 		solo := sub.Sub([]int{sub.GlobalRank()})
-		xall := innerPCG(solo, asub, seqPlan, seqPart, pc, ball, run.cfg.InnerRtol, maxIter)
+		xall, _ := innerPCG(solo, asub, seqPlan, seqPart, pc, ball, run.cfg.InnerRtol, maxIter, run.cfg.BlockingExchange)
 		copy(run.x, xall[ipart.Lo(0):ipart.Hi(0)])
 		for s := 1; s < sub.Size(); s++ {
 			sub.Send(s, tagInnerGather, xall[ipart.Lo(s):ipart.Hi(s)])
@@ -93,22 +94,28 @@ func (run *nodeRun) innerSolveGathered(sub *cluster.Node, asub *sparse.CSR, ipar
 // reconstruction inner systems. nd is a (sub-)communicator handle whose
 // rank corresponds to ipart's parts; b is the local right-hand side block;
 // the returned slice is the local solution block. Convergence:
-// ‖r‖₂/‖b‖₂ < rtol (exactly, since x0 = 0).
-func innerPCG(nd *cluster.Node, a *sparse.CSR, plan *aspmv.Plan, ipart *dist.Partition, pc precond.Preconditioner, b []float64, rtol float64, maxIter int) []float64 {
+// ‖r‖₂/‖b‖₂ < rtol (exactly, since x0 = 0). Like the outer solver, the
+// inner SpMV runs on the compact owned+ghost index space with the interior
+// product overlapping the in-flight halo (unless blocking). The second
+// return value is the halo payload this rank shipped during the solve, for
+// the caller to fold into its measured-halo counter.
+func innerPCG(nd *cluster.Node, a *sparse.CSR, plan *aspmv.Plan, ipart *dist.Partition, pc precond.Preconditioner, b []float64, rtol float64, maxIter int, blocking bool) ([]float64, int64) {
 	me := nd.Rank()
 	lo, hi := ipart.Lo(me), ipart.Hi(me)
 	m := hi - lo
-	var nnz float64
-	for i := lo; i < hi; i++ {
-		nnz += float64(a.RowPtr[i+1] - a.RowPtr[i])
+	local, err := sparse.NewLocal(a, lo, hi, plan.Ghost(me))
+	if err != nil {
+		panic(fmt.Sprintf("core: inner local matrix: %v", err))
 	}
+	ex := plan.NewExchanger(me)
+	nnz := float64(local.NNZ())
 
 	x := make([]float64, m)
 	r := append([]float64(nil), b...)
 	z := make([]float64, m)
 	p := make([]float64, m)
 	q := make([]float64, m)
-	full := make([]float64, a.Rows)
+	pg := make([]float64, m+local.G())
 
 	dot2 := func(u, v float64) (float64, float64) {
 		buf := [2]float64{u, v}
@@ -125,14 +132,23 @@ func innerPCG(nd *cluster.Node, a *sparse.CSR, plan *aspmv.Plan, ipart *dist.Par
 	rz, bb := dot2(rzLoc, bbLoc)
 	bNorm := math.Sqrt(bb)
 	if bNorm == 0 {
-		return x // zero rhs: zero solution
+		return x, ex.HaloBytes() // zero rhs: zero solution
 	}
 
 	for it := 0; it < maxIter; it++ {
-		copy(full[lo:hi], p)
-		plan.Exchange(nd, full)
-		a.MulVecRows(q, full, lo, hi)
-		nd.Compute(2 * nnz)
+		copy(pg[:m], p)
+		ex.Start(nd, pg[:m])
+		if blocking {
+			ex.Finish(nd, pg[m:])
+			local.Mul(q, pg)
+			nd.Compute(2 * nnz)
+		} else {
+			local.MulInterior(q, pg)
+			nd.Compute(2 * float64(local.InteriorNNZ()))
+			ex.Finish(nd, pg[m:])
+			local.MulBoundary(q, pg)
+			nd.Compute(2 * float64(local.BoundaryNNZ()))
+		}
 
 		pqLoc := vec.Dot(p, q)
 		nd.Compute(2 * float64(m))
@@ -158,5 +174,5 @@ func innerPCG(nd *cluster.Node, a *sparse.CSR, plan *aspmv.Plan, ipart *dist.Par
 			break
 		}
 	}
-	return x
+	return x, ex.HaloBytes()
 }

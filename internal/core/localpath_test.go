@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+)
+
+// localPathScenarios covers every strategy/recovery path the overlapped
+// compact SpMV must leave bit-for-bit unchanged.
+func localPathScenarios(t *testing.T) map[string]Config {
+	t.Helper()
+	mk := func(mut func(*Config)) Config {
+		cfg := baseConfig(t)
+		cfg.RecordResiduals = true
+		mut(&cfg)
+		return cfg
+	}
+	return map[string]Config{
+		"none-ff": mk(func(cfg *Config) {}),
+		"esr-fail": mk(func(cfg *Config) {
+			cfg.Strategy = StrategyESR
+			cfg.Phi = 1
+			cfg.Failure = &FailureSpec{Iteration: 40, Ranks: []int{3}}
+		}),
+		"esrp-fail": mk(func(cfg *Config) {
+			cfg.Strategy = StrategyESRP
+			cfg.T = 10
+			cfg.Phi = 2
+			cfg.Failure = &FailureSpec{Iteration: 28, Ranks: []int{1, 2}}
+		}),
+		"imcr-fail": mk(func(cfg *Config) {
+			cfg.Strategy = StrategyIMCR
+			cfg.T = 10
+			cfg.Phi = 1
+			cfg.Failure = &FailureSpec{Iteration: 33, Ranks: []int{4}}
+		}),
+		"esrp-nospare-fail": mk(func(cfg *Config) {
+			cfg.Strategy = StrategyESRP
+			cfg.T = 10
+			cfg.Phi = 1
+			cfg.NoSpareNodes = true
+			cfg.Failure = &FailureSpec{Iteration: 28, Ranks: []int{5}}
+		}),
+	}
+}
+
+// TestOverlapMatchesBlockingTrajectory is the acceptance check of the
+// overlapped exchange: against the blocking ablation it must produce
+// bitwise-identical iterates, residual logs and recovery behavior for every
+// strategy, while finishing in strictly lower simulated time — the overlap
+// only reorders when clocks advance, never what is computed.
+func TestOverlapMatchesBlockingTrajectory(t *testing.T) {
+	for name, cfg := range localPathScenarios(t) {
+		t.Run(name, func(t *testing.T) {
+			blocking := cfg
+			blocking.BlockingExchange = true
+			over := solveOK(t, cfg)
+			block := solveOK(t, blocking)
+
+			if over.Iterations != block.Iterations || over.TotalSteps != block.TotalSteps {
+				t.Fatalf("iterations differ: overlapped (%d,%d), blocking (%d,%d)",
+					over.Iterations, over.TotalSteps, block.Iterations, block.TotalSteps)
+			}
+			if over.Recovered != block.Recovered || over.RecoveredAt != block.RecoveredAt {
+				t.Fatalf("recovery behavior differs: overlapped (%v,%d), blocking (%v,%d)",
+					over.Recovered, over.RecoveredAt, block.Recovered, block.RecoveredAt)
+			}
+			if len(over.Residuals) != len(block.Residuals) {
+				t.Fatalf("residual logs differ in length: %d vs %d", len(over.Residuals), len(block.Residuals))
+			}
+			for i := range over.Residuals {
+				if over.Residuals[i] != block.Residuals[i] {
+					t.Fatalf("residual %d differs: %v vs %v (must be bitwise identical)",
+						i, over.Residuals[i], block.Residuals[i])
+				}
+			}
+			for i := range over.X {
+				if over.X[i] != block.X[i] {
+					t.Fatalf("x[%d] differs: %v vs %v (must be bitwise identical)", i, over.X[i], block.X[i])
+				}
+			}
+			if over.BytesSent != block.BytesSent || over.HaloBytes != block.HaloBytes {
+				t.Fatalf("traffic differs: overlapped (%d,%d), blocking (%d,%d)",
+					over.BytesSent, over.HaloBytes, block.BytesSent, block.HaloBytes)
+			}
+			if over.SimTime >= block.SimTime {
+				t.Fatalf("overlapped exchange must be strictly faster: %g >= %g simsec",
+					over.SimTime, block.SimTime)
+			}
+		})
+	}
+}
+
+// TestPipelinedOverlapMatchesBlocking repeats the identity check for the
+// pipelined solver's data path.
+func TestPipelinedOverlapMatchesBlocking(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.RecordResiduals = true
+	blocking := cfg
+	blocking.BlockingExchange = true
+	over, err := SolvePipelined(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, err := SolvePipelined(blocking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !over.Converged || !block.Converged {
+		t.Fatal("pipelined runs did not converge")
+	}
+	if over.Iterations != block.Iterations {
+		t.Fatalf("iterations differ: %d vs %d", over.Iterations, block.Iterations)
+	}
+	for i := range over.X {
+		if over.X[i] != block.X[i] {
+			t.Fatalf("x[%d] differs: %v vs %v", i, over.X[i], block.X[i])
+		}
+	}
+	if over.SimTime >= block.SimTime {
+		t.Fatalf("overlapped pipelined solve must be strictly faster: %g >= %g", over.SimTime, block.SimTime)
+	}
+}
+
+// TestPerNodeMemoryIsLocal verifies the O(n/s + halo) footprint: doubling
+// the cluster size must shrink the largest per-node state accordingly, and
+// no node may hold even one full-length vector's worth of dynamic data —
+// the pFull design this refactor retired held at least 8·Rows bytes each.
+func TestPerNodeMemoryIsLocal(t *testing.T) {
+	cfg := baseConfig(t)
+	fullVec := int64(8 * cfg.A.Rows)
+
+	cfg.Nodes = 4
+	mem4 := solveOK(t, cfg).MaxNodeBytes
+	cfg.Nodes = 16
+	mem16 := solveOK(t, cfg).MaxNodeBytes
+
+	if mem16 >= fullVec {
+		t.Fatalf("per-node state %d B at 16 nodes exceeds one full-length vector (%d B)", mem16, fullVec)
+	}
+	if mem16 >= (mem4*2)/3 {
+		t.Fatalf("per-node state must shrink with the cluster: %d B at 4 nodes, %d B at 16", mem4, mem16)
+	}
+
+	// Redundant storage grows the footprint but stays local too.
+	cfg.Strategy = StrategyESR
+	cfg.Phi = 1
+	esrMem := solveOK(t, cfg).MaxNodeBytes
+	if esrMem <= mem16 {
+		t.Fatalf("ESR redundancy must be accounted: %d B <= plain %d B", esrMem, mem16)
+	}
+	if esrMem >= 2*fullVec {
+		t.Fatalf("ESR per-node state %d B is not O(local+halo)", esrMem)
+	}
+}
+
+// TestHaloBytesMeasured checks the measured halo accounting: nonzero for a
+// coupled system, larger when the exchange is augmented with resilient
+// copies, and consistent with the planned extra traffic.
+func TestHaloBytesMeasured(t *testing.T) {
+	cfg := baseConfig(t)
+	plain := solveOK(t, cfg)
+	if plain.HaloBytes <= 0 {
+		t.Fatal("plain solve reports no measured halo bytes")
+	}
+	if plain.HaloBytes >= plain.BytesSent {
+		t.Fatalf("halo bytes %d must be below total point-to-point traffic %d (collectives excluded)",
+			plain.HaloBytes, plain.BytesSent)
+	}
+	cfg.Strategy = StrategyESR
+	cfg.Phi = 1
+	esr := solveOK(t, cfg)
+	if esr.HaloBytes <= plain.HaloBytes {
+		t.Fatalf("augmented exchanges must ship more halo bytes: ESR %d vs plain %d",
+			esr.HaloBytes, plain.HaloBytes)
+	}
+}

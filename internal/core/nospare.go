@@ -8,6 +8,7 @@ import (
 	"esrp/internal/cluster"
 	"esrp/internal/dist"
 	"esrp/internal/precond"
+	"esrp/internal/sparse"
 )
 
 // recoverNoSpare implements the spare-free ESR/ESRP recovery of [Pachajoa,
@@ -158,7 +159,7 @@ func (run *nodeRun) recoverNoSpare(j int) int {
 			var s float64
 			for k, c := range cols {
 				if c < flo || c >= fhi {
-					s += vals[k] * xHalo[c]
+					s += vals[k] * xHalo[c] // absent keys read as 0 = no coupling
 				}
 			}
 			w[i-flo] = run.cfg.B[i] - rIf[i-flo] - s
@@ -186,12 +187,19 @@ func adopterRank(failed []int, n int) int {
 }
 
 // gatherXHalo collects, at the adopter, the surviving iterand entries that
-// the failed rows couple to, into a full-length (zero-filled) buffer.
-func (run *nodeRun) gatherXHalo(failed []int, adopter int) []float64 {
+// the failed rows couple to, keyed by global index — O(halo) storage, not
+// O(n); the adopter never materializes a full-length vector.
+func (run *nodeRun) gatherXHalo(failed []int, adopter int) map[int]float64 {
 	me := run.nd.Rank()
-	var xHalo []float64
+	var xHalo map[int]float64
 	if me == adopter {
-		xHalo = make([]float64, run.cfg.A.Rows)
+		size := 0
+		for _, fr := range failed {
+			for _, t := range run.plan.Recv[fr] {
+				size += len(t.Idx)
+			}
+		}
+		xHalo = make(map[int]float64, size)
 	}
 	for _, fr := range failed {
 		for _, t := range run.plan.Recv[fr] {
@@ -251,7 +259,8 @@ func (run *nodeRun) innerSolveLocal(flo, fhi int, w []float64, pc precond.Precon
 		maxIter = 100 * asub.Rows
 	}
 	solo := run.nd.Sub([]int{run.nd.GlobalRank()})
-	return innerPCG(solo, asub, seqPlan, seqPart, pc, w, run.cfg.InnerRtol, maxIter)
+	x, _ := innerPCG(solo, asub, seqPlan, seqPart, pc, w, run.cfg.InnerRtol, maxIter, run.cfg.BlockingExchange)
+	return x
 }
 
 // shrinkTo repartitions the solve onto the survivors: the adopter's range
@@ -341,11 +350,20 @@ func (run *nodeRun) shrinkTo(sub *cluster.Node, survivors []int, adopter, flo, f
 	run.part = newPart
 	run.plan = newPlan
 	run.lo, run.hi, run.m = newLo, newHi, newM
-	var nnz float64
-	for i := newLo; i < newHi; i++ {
-		nnz += float64(run.cfg.A.RowPtr[i+1] - run.cfg.A.RowPtr[i])
+
+	// Re-extract the compact local view for the shrunken plan: every
+	// survivor's ghost set changed, not just the adopter's. The halo-byte
+	// counter carries over so Result.HaloBytes stays a whole-solve figure.
+	local, err := sparse.NewLocal(run.cfg.A, newLo, newHi, newPlan.Ghost(subRank))
+	if err != nil {
+		panic(fmt.Sprintf("core: no-spare local matrix: %v", err))
 	}
-	run.nnzLocal = nnz
+	run.local = local
+	run.nnzLocal = float64(local.NNZ())
+	sent := run.ex.HaloBytes()
+	run.ex = newPlan.NewExchanger(subRank)
+	run.ex.AddHaloBytes(sent)
+	run.pg = make([]float64, newM+local.G())
 
 	// Re-anchor the redundancy machinery on the new layout: the queue held
 	// copies routed by the old plan, which no longer matches the shrunken

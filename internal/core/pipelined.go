@@ -56,12 +56,16 @@ func SolvePipelined(cfg Config) (*Result, error) {
 	}
 	comm := cluster.New(cfg.Nodes, model)
 	result := &Result{}
+	nodeMem := make([]int64, cfg.Nodes)
+	nodeHalo := make([]int64, cfg.Nodes)
 	runErr := comm.Run(func(nd *cluster.Node) {
 		run, err := newPipeRun(&cfg, nd, part, plan)
 		if err != nil {
 			panic(err)
 		}
 		run.main(result)
+		nodeMem[nd.GlobalRank()] = run.pipeStateBytes()
+		nodeHalo[nd.GlobalRank()] = run.ex.HaloBytes()
 	})
 	if runErr != nil {
 		return nil, runErr
@@ -70,6 +74,7 @@ func SolvePipelined(cfg Config) (*Result, error) {
 	result.WallTime = comm.WallTime()
 	result.BytesSent = comm.BytesSent()
 	result.MsgsSent = comm.MsgsSent()
+	result.MaxNodeBytes, result.HaloBytes = reduceFootprint(nodeMem, nodeHalo)
 	return result, nil
 }
 
@@ -130,15 +135,8 @@ func newPipeRun(cfg *Config, nd *cluster.Node, part *dist.Partition, plan *aspmv
 	return run, nil
 }
 
-// spmvInto computes dst = A·src on the local rows via the halo exchange.
-func (run *pipeRun) spmvInto(dst, src []float64) {
-	copy(run.pFull[run.lo:run.hi], src)
-	run.plan.Exchange(run.nd, run.pFull)
-	run.cfg.A.MulVecRows(dst, run.pFull, run.lo, run.hi)
-	run.nd.Compute(2 * run.nnzLocal)
-}
-
-// bootstrap establishes r, u = P·r, w = A·u and ‖b‖.
+// bootstrap establishes r, u = P·r, w = A·u and ‖b‖. SpMVs go through the
+// embedded nodeRun's compact overlapped data path (spmvInto).
 func (run *pipeRun) bootstrap() {
 	bLoc := run.cfg.B[run.lo:run.hi]
 	if run.cfg.X0 != nil {
@@ -262,6 +260,20 @@ func (run *pipeRun) main(result *Result) {
 	}
 }
 
+// pipeStateBytes extends the base footprint with the pipelined auxiliary
+// recurrences and the IMCR checkpoint payloads.
+func (run *pipeRun) pipeStateBytes() int64 {
+	b := run.stateBytes()
+	b += 8 * int64(len(run.u)+len(run.w)+len(run.s)+len(run.qv)+len(run.zv)+len(run.mv)+len(run.nv))
+	if ck := run.ckpt; ck != nil {
+		b += 8 * int64(len(ck.ownData))
+		for _, d := range ck.held {
+			b += 8 * int64(len(d))
+		}
+	}
+	return b
+}
+
 // pipeDrift evaluates Eq. 2 for the pipelined solver.
 func (run *pipeRun) pipeDrift(finalRelres float64) float64 {
 	run.spmvInto(run.q, run.x)
@@ -317,7 +329,7 @@ func (run *pipeRun) pipeRestore(data []float64) {
 
 // pipeLose zeroes the node's dynamic pipelined state.
 func (run *pipeRun) pipeLose() {
-	for _, v := range [][]float64{run.x, run.r, run.u, run.w, run.p, run.s, run.qv, run.zv, run.q, run.mv, run.nv} {
+	for _, v := range [][]float64{run.x, run.r, run.u, run.w, run.p, run.s, run.qv, run.zv, run.q, run.mv, run.nv, run.pg} {
 		vec.Zero(v)
 	}
 	run.gammaOld, run.alphaOld = 0, 0

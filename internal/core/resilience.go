@@ -33,6 +33,9 @@ type resilience interface {
 	afterIteration(j int, beta float64)
 	// lose destroys all redundant data held by this node (node failure).
 	lose()
+	// stateBytes returns the redundant storage held, in bytes, for the
+	// per-node memory accounting (Result.MaxNodeBytes).
+	stateBytes() int64
 }
 
 // esrState implements redundant storage for ESR (T = 1) and ESRP (T > 2):
@@ -85,7 +88,13 @@ func (st *esrState) beforeSpMV(j int) bool {
 	return false
 }
 
-func (st *esrState) retain(rc aspmv.ReceivedCopy) { st.queue.Push(rc) }
+func (st *esrState) retain(rc aspmv.ReceivedCopy) {
+	// Recycle the evicted copy's value buffer: steady-state ESR iterations
+	// then reuse the same storage instead of growing the heap.
+	if old, ok := st.queue.Push(rc); ok {
+		st.run.ex.Recycle(old.Val)
+	}
+}
 
 func (st *esrState) afterIteration(j int, beta float64) {
 	// β of the first storage-stage iteration is the scalar the next
@@ -94,6 +103,13 @@ func (st *esrState) afterIteration(j int, beta float64) {
 	if st.t > 1 && j%st.t == 0 && j > 2 {
 		st.betaPending = beta
 	}
+}
+
+// stateBytes counts the starred duplicates and the queued copies' values
+// (the copies' index layout is plan-static and shared, hence excluded).
+func (st *esrState) stateBytes() int64 {
+	b := 8 * int64(len(st.xs)+len(st.rs)+len(st.zs)+len(st.ps))
+	return b + st.queue.ValBytes()
 }
 
 func (st *esrState) lose() {
@@ -173,6 +189,14 @@ func (st *imcrState) afterIteration(j int, _ float64) {
 	}
 }
 
+func (st *imcrState) stateBytes() int64 {
+	b := 8 * int64(len(st.ownData))
+	for _, d := range st.held {
+		b += 8 * int64(len(d))
+	}
+	return b
+}
+
 func (st *imcrState) lose() {
 	st.ownIter = -1
 	st.ownData = nil
@@ -195,6 +219,7 @@ func (run *nodeRun) loseDynamicState() {
 	vec.Zero(run.z)
 	vec.Zero(run.p)
 	vec.Zero(run.q)
+	vec.Zero(run.pg)
 	run.rz = 0
 	run.betaPrev = 0
 	run.bNormGlobal = 0
@@ -389,12 +414,15 @@ func (run *nodeRun) recoverESR(j int) int {
 	}
 
 	// Halo of the surviving iterand x (Alg. 2 lines 2 and 7): survivors send
-	// the entries the failed rows couple to.
-	vec.Zero(run.pFull)
+	// the entries the failed rows couple to; the failed node scatters them
+	// into its compact ghost buffer (run.pg's ghost region — a scratch at
+	// this point, refreshed by the next exchange anyway).
+	me := run.nd.Rank()
+	xg := run.pg[run.m:]
 	if !amFailed {
 		for _, fr := range failed {
 			for _, t := range run.plan.Recv[fr] {
-				if t.Peer != run.nd.Rank() {
+				if t.Peer != me {
 					continue
 				}
 				buf := make([]float64, len(t.Idx))
@@ -405,14 +433,13 @@ func (run *nodeRun) recoverESR(j int) int {
 			}
 		}
 	} else {
-		for _, t := range run.plan.Recv[run.nd.Rank()] {
+		vec.Zero(xg)
+		for ti, t := range run.plan.Recv[me] {
 			if rankIsFailed(failed, t.Peer) {
 				continue // unknowns of the inner system, not data
 			}
 			vals := run.nd.Recv(t.Peer, tagRecoverX)
-			for k, gi := range t.Idx {
-				run.pFull[gi] = vals[k]
-			}
+			copy(xg[run.plan.RecvGhostOffset(me, ti):], vals)
 		}
 	}
 
@@ -427,18 +454,25 @@ func (run *nodeRun) recoverESR(j int) int {
 		// preconditioners), then solve P[If,If]·r_If = v.
 		run.pc.SolveRestricted(run.r, run.z)
 		run.nd.Compute(run.pc.SolveRestrictedFlops())
-		// Line 7: w = b_If − r_If − A[If,I\If]·x_(I\If).
+		// Line 7: w = b_If − r_If − A[If,I\If]·x_(I\If), on the compact
+		// local matrix: owned columns lie inside If by construction, ghost
+		// columns owned by other failed ranks are inner-system unknowns —
+		// both are skipped, leaving exactly the surviving coupling.
 		w := make([]float64, run.m)
 		bLoc := run.cfg.B[run.lo:run.hi]
-		for i := run.lo; i < run.hi; i++ {
-			cols, vals := run.cfg.A.Row(i)
+		for i := 0; i < run.m; i++ {
+			cols, vals := run.local.Row(i)
 			var s float64
 			for k, c := range cols {
-				if c < flo || c >= fhi {
-					s += vals[k] * run.pFull[c]
+				if c < run.m {
+					continue
 				}
+				if gi := run.local.Ghost[c-run.m]; gi >= flo && gi < fhi {
+					continue
+				}
+				s += vals[k] * xg[c-run.m]
 			}
-			w[i-run.lo] = bLoc[i-run.lo] - run.r[i-run.lo] - s
+			w[i] = bLoc[i] - run.r[i] - s
 		}
 		run.nd.Compute(2 * run.nnzLocal)
 		// Line 8: solve A[If,If]·x_If = w on the replacement nodes.

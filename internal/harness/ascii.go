@@ -114,10 +114,3 @@ func RenderFigureASCII(r *Report, failureFree bool) string {
 	fmt.Fprintf(&b, "%10s  %s\n", "", string(axis))
 	return b.String()
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -149,6 +149,10 @@ type Cell struct {
 	FFTime     float64 // median simulated runtime with resilience, no failure
 	FFOverhead float64 // (FFTime − t0)/t0
 	FFIters    int
+	// FFMaxNodeBytes and FFHaloBytes carry the failure-free run's per-node
+	// memory footprint and measured halo traffic (redundancy included).
+	FFMaxNodeBytes int64
+	FFHaloBytes    int64
 
 	// Failure measurements, one per location (parallel to Spec.Locations).
 	Fail []FailureCell
@@ -175,6 +179,13 @@ type Report struct {
 	RefTime  float64 // t0: median simulated runtime of the non-resilient PCG
 	RefIters int     // C: iterations of the reference run
 	RefDrift float64 // residual drift of the reference (Eq. 2)
+
+	// RefMaxNodeBytes is the largest per-node dynamic solver footprint of
+	// the reference run — O(n/s + halo) under the compact local data path.
+	RefMaxNodeBytes int64
+	// RefHaloBytes is the measured (not planned) halo payload volume the
+	// reference run's SpMV exchanges shipped, summed over nodes.
+	RefHaloBytes int64
 
 	// Partition describes the quality (per-node nonzero load, imbalance
 	// factor, SpMV ghost volume) of the block row distribution the runs
@@ -222,6 +233,8 @@ func Run(spec Spec) (*Report, error) {
 	rep.RefTime = ref.SimTime
 	rep.RefIters = ref.Iterations
 	rep.RefDrift = ref.Drift
+	rep.RefMaxNodeBytes = ref.MaxNodeBytes
+	rep.RefHaloBytes = ref.HaloBytes
 
 	for _, t := range spec.Ts {
 		for _, phi := range spec.Phis {
@@ -265,12 +278,14 @@ func runCell(spec Spec, strat core.Strategy, t, phi int, rep *Report) (*Cell, er
 		return nil, fmt.Errorf("harness: %v T=%d φ=%d failure-free: %w", strat, t, phi, err)
 	}
 	cell := &Cell{
-		Strategy:   strat,
-		T:          t,
-		Phi:        phi,
-		FFTime:     ff.SimTime,
-		FFOverhead: overhead(ff.SimTime, rep.RefTime),
-		FFIters:    ff.Iterations,
+		Strategy:       strat,
+		T:              t,
+		Phi:            phi,
+		FFTime:         ff.SimTime,
+		FFOverhead:     overhead(ff.SimTime, rep.RefTime),
+		FFIters:        ff.Iterations,
+		FFMaxNodeBytes: ff.MaxNodeBytes,
+		FFHaloBytes:    ff.HaloBytes,
 	}
 	fiter := FailureIteration(rep.RefIters, t)
 	for _, loc := range spec.Locations {

@@ -32,6 +32,13 @@ func TestRunSmallConstellation(t *testing.T) {
 	if rep.RefTime <= 0 {
 		t.Fatalf("reference time = %g, want > 0", rep.RefTime)
 	}
+	if rep.RefMaxNodeBytes <= 0 || rep.RefHaloBytes <= 0 {
+		t.Fatalf("footprint figures missing: per-node %d B, halo %d B", rep.RefMaxNodeBytes, rep.RefHaloBytes)
+	}
+	if full := int64(8 * rep.Spec.Matrix.Rows); rep.RefMaxNodeBytes >= full {
+		t.Errorf("per-node memory %d B reaches a full-length vector (%d B); the data path must stay O(local+halo)",
+			rep.RefMaxNodeBytes, full)
+	}
 	// 3 intervals × 2 φ for ESRP; IMCR skips T = 1.
 	if got, want := len(rep.ESRP), 6; got != want {
 		t.Errorf("len(ESRP) = %d, want %d", got, want)

@@ -201,6 +201,10 @@ func Summary(r *Report) string {
 		}
 		fmt.Fprintf(&b, "  partition (%s, %d nodes): %s\n", layout, r.Spec.Nodes, r.Partition)
 	}
+	if r.RefMaxNodeBytes > 0 {
+		fmt.Fprintf(&b, "  per-node memory ≤ %s (O(local+halo)); measured halo traffic %s per reference solve\n",
+			fmtBytes(r.RefMaxNodeBytes), fmtBytes(r.RefHaloBytes))
+	}
 	if esr := findPhi(cellsWithT(r.ESRP, 1), r.Spec.Phis[0]); esr != nil {
 		fmt.Fprintf(&b, "  ESR    (T=1,  φ=%d): failure-free overhead %6.2f%%\n", r.Spec.Phis[0], 100*esr.FFOverhead)
 	}
@@ -218,6 +222,20 @@ func Summary(r *Report) string {
 }
 
 // --- small helpers -----------------------------------------------------------
+
+// fmtBytes renders a byte count with a binary-prefix unit for the summary.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
 
 func groupByT(cells []Cell) map[int][]Cell {
 	m := make(map[int][]Cell)

@@ -97,7 +97,7 @@ func (a *CSR) Bandwidth() int {
 	for i := 0; i < a.Rows; i++ {
 		cols, _ := a.Row(i)
 		for _, j := range cols {
-			if d := abs(i - j); d > bw {
+			if d := max(i-j, j-i); d > bw {
 				bw = d
 			}
 		}
@@ -289,18 +289,4 @@ func Identity(n int) *CSR {
 		b.Add(i, i, 1)
 	}
 	return b.Build()
-}
-
-func abs(x int) int {
-	if x < 0 {
-		return -x
-	}
-	return x
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

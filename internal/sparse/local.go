@@ -1,0 +1,171 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Local is the per-node view of a square CSR matrix under a block row
+// distribution: the rows [Lo,Hi) with every column renumbered into the
+// compact index space
+//
+//	[0, M)      — owned columns (global j ↦ j−Lo), and
+//	[M, M+G())  — ghost columns (global j ↦ M + position of j in Ghost).
+//
+// A node holding a Local needs only O(M + nnz(local) + G) memory instead of
+// the O(n) a full-length halo buffer costs, which is what makes the solver's
+// per-node footprint independent of the global problem size.
+//
+// Rows are split by structure into *interior* rows, which reference no ghost
+// column and can therefore be multiplied before the halo exchange completes,
+// and *boundary* rows, which must wait for the ghost values. The split is
+// what the overlapped SpMV data path (aspmv.Exchanger Start/Finish) computes
+// against.
+//
+// The entry order within each row is preserved from the source matrix, so
+// per-row products accumulate in the same order as CSR.MulVecRows on the
+// global matrix and the distributed solver trajectories stay bitwise
+// identical to the full-length path.
+type Local struct {
+	Lo, Hi int   // owned global row range
+	M      int   // Hi − Lo
+	Ghost  []int // sorted global indices of the ghost columns (not owned)
+
+	RowPtr []int     // len M+1
+	Cols   []int     // compact column indices, source order per row
+	Vals   []float64 // entry values
+
+	// InteriorRows and BoundaryRows partition [0,M) (compact row indices,
+	// each ascending): interior rows reference owned columns only.
+	InteriorRows []int
+	BoundaryRows []int
+
+	nnzInterior int
+	nnzBoundary int
+}
+
+// NewLocal extracts the local view of rows [lo,hi) of a. ghost must be the
+// sorted set of all columns outside [lo,hi) referenced by those rows —
+// exactly what aspmv.Plan.Ghost provides; the slice is retained, not copied.
+// Supersets are allowed (unreferenced ghost entries simply waste a slot);
+// a referenced column missing from ghost is an error.
+func NewLocal(a *CSR, lo, hi int, ghost []int) (*Local, error) {
+	if lo < 0 || hi > a.Rows || lo > hi {
+		return nil, fmt.Errorf("sparse: local row range [%d,%d) invalid for %d rows", lo, hi, a.Rows)
+	}
+	for k := 1; k < len(ghost); k++ {
+		if ghost[k] <= ghost[k-1] {
+			return nil, fmt.Errorf("sparse: ghost indices must be sorted and unique, got %d after %d", ghost[k], ghost[k-1])
+		}
+	}
+	m := hi - lo
+	l := &Local{
+		Lo: lo, Hi: hi, M: m, Ghost: ghost,
+		RowPtr: make([]int, m+1),
+		Cols:   make([]int, 0, a.RowPtr[hi]-a.RowPtr[lo]),
+		Vals:   make([]float64, 0, a.RowPtr[hi]-a.RowPtr[lo]),
+	}
+	for i := lo; i < hi; i++ {
+		cols, vals := a.Row(i)
+		interior := true
+		for k, j := range cols {
+			c := 0
+			if j >= lo && j < hi {
+				c = j - lo
+			} else {
+				g := sort.SearchInts(ghost, j)
+				if g == len(ghost) || ghost[g] != j {
+					return nil, fmt.Errorf("sparse: row %d references column %d missing from the ghost set", i, j)
+				}
+				c = m + g
+				interior = false
+			}
+			l.Cols = append(l.Cols, c)
+			l.Vals = append(l.Vals, vals[k])
+		}
+		l.RowPtr[i-lo+1] = len(l.Cols)
+		if interior {
+			l.InteriorRows = append(l.InteriorRows, i-lo)
+			l.nnzInterior += len(cols)
+		} else {
+			l.BoundaryRows = append(l.BoundaryRows, i-lo)
+			l.nnzBoundary += len(cols)
+		}
+	}
+	return l, nil
+}
+
+// G returns the number of ghost columns.
+func (l *Local) G() int { return len(l.Ghost) }
+
+// NNZ returns the number of stored entries.
+func (l *Local) NNZ() int { return len(l.Cols) }
+
+// InteriorNNZ returns the entries in interior rows.
+func (l *Local) InteriorNNZ() int { return l.nnzInterior }
+
+// BoundaryNNZ returns the entries in boundary rows.
+func (l *Local) BoundaryNNZ() int { return l.nnzBoundary }
+
+// CompactCol maps a global column index to its compact index, or -1 if the
+// column is neither owned nor in the ghost set.
+func (l *Local) CompactCol(j int) int {
+	if j >= l.Lo && j < l.Hi {
+		return j - l.Lo
+	}
+	g := sort.SearchInts(l.Ghost, j)
+	if g < len(l.Ghost) && l.Ghost[g] == j {
+		return l.M + g
+	}
+	return -1
+}
+
+// GlobalCol maps a compact column index back to the global index.
+func (l *Local) GlobalCol(c int) int {
+	if c < l.M {
+		return l.Lo + c
+	}
+	return l.Ghost[c-l.M]
+}
+
+// Row returns the compact column indices and values of local row i (source
+// order; sub-slices of the storage, do not modify).
+func (l *Local) Row(i int) (cols []int, vals []float64) {
+	lo, hi := l.RowPtr[i], l.RowPtr[i+1]
+	return l.Cols[lo:hi], l.Vals[lo:hi]
+}
+
+// mulRow accumulates local row i of the product against the assembled
+// owned+ghost vector x (length M+G).
+func (l *Local) mulRow(i int, x []float64) float64 {
+	var s float64
+	for k := l.RowPtr[i]; k < l.RowPtr[i+1]; k++ {
+		s += l.Vals[k] * x[l.Cols[k]]
+	}
+	return s
+}
+
+// Mul computes dst = A_local · x over all local rows. x is the assembled
+// owned+ghost vector of length M+G(); dst has length M.
+func (l *Local) Mul(dst, x []float64) {
+	for i := 0; i < l.M; i++ {
+		dst[i] = l.mulRow(i, x)
+	}
+}
+
+// MulInterior computes the interior rows of the product. Interior rows read
+// only x[:M], so the call may run while the halo exchange filling x[M:] is
+// still in flight.
+func (l *Local) MulInterior(dst, x []float64) {
+	for _, i := range l.InteriorRows {
+		dst[i] = l.mulRow(i, x)
+	}
+}
+
+// MulBoundary computes the boundary rows of the product; x[M:] must hold the
+// received ghost values.
+func (l *Local) MulBoundary(dst, x []float64) {
+	for _, i := range l.BoundaryRows {
+		dst[i] = l.mulRow(i, x)
+	}
+}

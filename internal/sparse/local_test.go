@@ -1,0 +1,209 @@
+package sparse
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randomSparse returns a random n×n matrix with ~density nonzeros per row
+// plus a full diagonal, deterministic in seed.
+func randomSparse(n, perRow int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, float64(i+1))
+		for k := 0; k < perRow; k++ {
+			b.Add(i, rng.Intn(n), rng.NormFloat64())
+		}
+	}
+	return b.Build()
+}
+
+// ghostOf returns the sorted set of off-range columns referenced by rows
+// [lo,hi) — the reference computation NewLocal is tested against.
+func ghostOf(a *CSR, lo, hi int) []int {
+	seen := map[int]bool{}
+	for i := lo; i < hi; i++ {
+		cols, _ := a.Row(i)
+		for _, j := range cols {
+			if j < lo || j >= hi {
+				seen[j] = true
+			}
+		}
+	}
+	ghost := make([]int, 0, len(seen))
+	for j := range seen {
+		ghost = append(ghost, j)
+	}
+	sort.Ints(ghost)
+	return ghost
+}
+
+// TestLocalIndexMapRoundTrip is the property test of the ghost index maps:
+// global→compact→global is the identity on every referenced column, owned
+// columns land in [0,M) and ghosts in [M,M+G).
+func TestLocalIndexMapRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		a := randomSparse(80, 4, seed)
+		lo, hi := 20, 50
+		l, err := NewLocal(a, lo, hi, ghostOf(a, lo, hi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < a.Cols; j++ {
+			c := l.CompactCol(j)
+			owned := j >= lo && j < hi
+			switch {
+			case c == -1:
+				if owned {
+					t.Fatalf("seed %d: owned column %d unmapped", seed, j)
+				}
+			case owned && (c < 0 || c >= l.M):
+				t.Fatalf("seed %d: owned column %d mapped to %d outside [0,%d)", seed, j, c, l.M)
+			case !owned && (c < l.M || c >= l.M+l.G()):
+				t.Fatalf("seed %d: ghost column %d mapped to %d outside [%d,%d)", seed, j, c, l.M, l.M+l.G())
+			}
+			if c >= 0 && l.GlobalCol(c) != j {
+				t.Fatalf("seed %d: round trip %d -> %d -> %d", seed, j, c, l.GlobalCol(c))
+			}
+		}
+		// Every stored compact column round-trips to a column the global row
+		// actually stores.
+		for i := 0; i < l.M; i++ {
+			cols, _ := l.Row(i)
+			gcols, _ := a.Row(lo + i)
+			if len(cols) != len(gcols) {
+				t.Fatalf("seed %d: row %d has %d entries locally, %d globally", seed, i, len(cols), len(gcols))
+			}
+			for k, c := range cols {
+				if l.GlobalCol(c) != gcols[k] {
+					t.Fatalf("seed %d: row %d entry %d maps to column %d, want %d (source order must be preserved)",
+						seed, i, k, l.GlobalCol(c), gcols[k])
+				}
+			}
+		}
+	}
+}
+
+// TestLocalInteriorRowsReferenceNoGhost is the second index-map property:
+// interior rows reference owned columns only, boundary rows at least one
+// ghost, and the two lists partition [0,M).
+func TestLocalInteriorRowsReferenceNoGhost(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		a := randomSparse(60, 3, seed+100)
+		lo, hi := 15, 45
+		l, err := NewLocal(a, lo, hi, ghostOf(a, lo, hi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered := make([]int, l.M)
+		for _, i := range l.InteriorRows {
+			covered[i]++
+			cols, _ := l.Row(i)
+			for _, c := range cols {
+				if c >= l.M {
+					t.Fatalf("seed %d: interior row %d references ghost column %d", seed, i, c)
+				}
+			}
+		}
+		for _, i := range l.BoundaryRows {
+			covered[i]++
+			ghost := false
+			cols, _ := l.Row(i)
+			for _, c := range cols {
+				ghost = ghost || c >= l.M
+			}
+			if !ghost {
+				t.Fatalf("seed %d: boundary row %d has no ghost column", seed, i)
+			}
+		}
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("seed %d: row %d covered %d times by interior+boundary", seed, i, c)
+			}
+		}
+		if l.InteriorNNZ()+l.BoundaryNNZ() != l.NNZ() {
+			t.Fatalf("seed %d: nnz split %d+%d != %d", seed, l.InteriorNNZ(), l.BoundaryNNZ(), l.NNZ())
+		}
+	}
+}
+
+// TestLocalMulMatchesMulVecRows checks that interior+boundary products on
+// the compact index space reproduce the global-matrix row product bitwise.
+func TestLocalMulMatchesMulVecRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomSparse(90, 5, 7)
+	lo, hi := 30, 70
+	l, err := NewLocal(a, lo, hi, ghostOf(a, lo, hi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xfull := make([]float64, a.Cols)
+	for i := range xfull {
+		xfull[i] = rng.NormFloat64()
+	}
+	// Assemble the compact owned+ghost vector.
+	xloc := make([]float64, l.M+l.G())
+	copy(xloc, xfull[lo:hi])
+	for g, j := range l.Ghost {
+		xloc[l.M+g] = xfull[j]
+	}
+	want := make([]float64, hi-lo)
+	a.MulVecRows(want, xfull, lo, hi)
+
+	got := make([]float64, hi-lo)
+	l.MulInterior(got, xloc)
+	l.MulBoundary(got, xloc)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("split product row %d: got %v, want %v (must be bitwise identical)", i, got[i], want[i])
+		}
+	}
+	got2 := make([]float64, hi-lo)
+	l.Mul(got2, xloc)
+	for i := range want {
+		if got2[i] != want[i] {
+			t.Fatalf("Mul row %d: got %v, want %v", i, got2[i], want[i])
+		}
+	}
+}
+
+// TestLocalMulAllocs pins the steady-state local product to zero heap
+// allocations — the kernel the solver runs every iteration.
+func TestLocalMulAllocs(t *testing.T) {
+	a := randomSparse(100, 4, 11)
+	lo, hi := 25, 75
+	l, err := NewLocal(a, lo, hi, ghostOf(a, lo, hi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, l.M+l.G())
+	for i := range x {
+		x[i] = float64(i)
+	}
+	dst := make([]float64, l.M)
+	if n := testing.AllocsPerRun(50, func() {
+		l.MulInterior(dst, x)
+		l.MulBoundary(dst, x)
+	}); n != 0 {
+		t.Fatalf("local SpMV kernel allocates %v times per run, want 0", n)
+	}
+}
+
+// TestLocalErrors covers the validation paths.
+func TestLocalErrors(t *testing.T) {
+	a := randomSparse(20, 3, 3)
+	if _, err := NewLocal(a, 5, 25, nil); err == nil {
+		t.Fatal("row range beyond the matrix must fail")
+	}
+	if _, err := NewLocal(a, 5, 15, nil); err == nil {
+		t.Fatal("missing ghost set must fail when rows couple outside the range")
+	}
+	if _, err := NewLocal(a, 5, 15, []int{4, 4}); err == nil {
+		t.Fatal("duplicate ghost indices must fail")
+	}
+	if _, err := NewLocal(a, 5, 15, []int{4, 2}); err == nil {
+		t.Fatal("unsorted ghost indices must fail")
+	}
+}
