@@ -19,12 +19,19 @@
 //	-phis CSV   redundancy counts (default 1,3,8)
 //	-ts CSV     checkpoint intervals (default 1,20,50,100)
 //	-reps R     repetitions per setting (default 1; runs are deterministic)
+//
+// Every constellation run also writes a machine-readable BENCH_<name>.json
+// (simulated time, iterations, halo bytes, max per-node bytes for the
+// reference and every cell) into -json-dir, so the performance trajectory is
+// tracked across changes; -json-dir "" disables the export.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -38,12 +45,13 @@ func main() {
 		fig   = flag.Int("fig", 0, "regenerate Figure 2..3 (0 = none)")
 		all   = flag.Bool("all", false, "regenerate every table and figure")
 
-		nodes = flag.Int("nodes", 32, "simulated cluster size")
-		scale = flag.Int("scale", 1, "grid refinement factor for the test matrices")
-		phis  = flag.String("phis", "1,3,8", "comma-separated redundancy counts φ")
-		ts    = flag.String("ts", "1,20,50,100", "comma-separated checkpoint intervals T")
-		reps  = flag.Int("reps", 1, "repetitions per setting (median reported)")
-		rtol  = flag.Float64("rtol", 1e-8, "outer relative tolerance")
+		nodes   = flag.Int("nodes", 32, "simulated cluster size")
+		scale   = flag.Int("scale", 1, "grid refinement factor for the test matrices")
+		phis    = flag.String("phis", "1,3,8", "comma-separated redundancy counts φ")
+		ts      = flag.String("ts", "1,20,50,100", "comma-separated checkpoint intervals T")
+		reps    = flag.Int("reps", 1, "repetitions per setting (median reported)")
+		rtol    = flag.Float64("rtol", 1e-8, "outer relative tolerance")
+		jsonDir = flag.String("json-dir", ".", "directory for the BENCH_<name>.json exports (\"\" = disabled)")
 	)
 	flag.Parse()
 
@@ -61,7 +69,7 @@ func main() {
 		fatalf("bad -ts: %v", err)
 	}
 
-	g := generator{nodes: *nodes, scale: *scale, phis: phiList, ts: tList, reps: *reps, rtol: *rtol}
+	g := generator{nodes: *nodes, scale: *scale, phis: phiList, ts: tList, reps: *reps, rtol: *rtol, jsonDir: *jsonDir}
 
 	want := func(t, f int) bool {
 		if *all {
@@ -127,6 +135,7 @@ type generator struct {
 	nodes, scale, reps int
 	phis, ts           []int
 	rtol               float64
+	jsonDir            string
 }
 
 // emilia returns the Emilia_923 analog at the configured scale: a banded
@@ -164,7 +173,93 @@ func (g generator) run(name string, a *esrp.CSR) *esrp.ExperimentReport {
 	}
 	fmt.Fprintf(os.Stderr, "esrpbench: %s done in %v (reference: %d iterations, %.4g s simulated)\n",
 		name, time.Since(start).Round(time.Millisecond), rep.RefIters, rep.RefTime)
+	if g.jsonDir != "" {
+		if path, err := writeBenchJSON(g.jsonDir, name, g, a, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "esrpbench: writing %s results: %v\n", name, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "esrpbench: wrote %s\n", path)
+		}
+	}
 	return rep
+}
+
+// benchCell is one machine-readable measurement row of the export.
+type benchCell struct {
+	Strategy     string  `json:"strategy"`
+	T            int     `json:"t"`
+	Phi          int     `json:"phi"`
+	SimTime      float64 `json:"sim_time_s"`
+	Overhead     float64 `json:"overhead"`
+	Iterations   int     `json:"iterations"`
+	MaxNodeBytes int64   `json:"max_node_bytes"`
+	HaloBytes    int64   `json:"halo_bytes"`
+}
+
+// benchJSON is the BENCH_<name>.json schema: the reference run plus every
+// failure-free cell of the constellation, in stable sweep order.
+type benchJSON struct {
+	Name  string `json:"name"`
+	Rows  int    `json:"rows"`
+	NNZ   int    `json:"nnz"`
+	Nodes int    `json:"nodes"`
+	Scale int    `json:"scale"`
+
+	RefSimTime      float64 `json:"ref_sim_time_s"`
+	RefIterations   int     `json:"ref_iterations"`
+	RefMaxNodeBytes int64   `json:"ref_max_node_bytes"`
+	RefHaloBytes    int64   `json:"ref_halo_bytes"`
+
+	Cells []benchCell `json:"cells"`
+}
+
+// writeBenchJSON exports one constellation's headline numbers so the perf
+// trajectory (simulated time, traffic, memory) is tracked run over run.
+func writeBenchJSON(dir, name string, g generator, a *esrp.CSR, rep *esrp.ExperimentReport) (string, error) {
+	out := benchJSON{
+		Name: name, Rows: a.Rows, NNZ: a.NNZ(), Nodes: g.nodes, Scale: g.scale,
+		RefSimTime: rep.RefTime, RefIterations: rep.RefIters,
+		RefMaxNodeBytes: rep.RefMaxNodeBytes, RefHaloBytes: rep.RefHaloBytes,
+	}
+	add := func(label string, cells []esrp.ExperimentCell) {
+		for _, c := range cells {
+			strat := label
+			if label == "ESRP" && c.T == 1 {
+				strat = "ESR"
+			}
+			out.Cells = append(out.Cells, benchCell{
+				Strategy: strat, T: c.T, Phi: c.Phi,
+				SimTime: c.FFTime, Overhead: c.FFOverhead, Iterations: c.FFIters,
+				MaxNodeBytes: c.FFMaxNodeBytes, HaloBytes: c.FFHaloBytes,
+			})
+		}
+	}
+	add("ESRP", rep.ESRP)
+	add("IMCR", rep.IMCR)
+
+	path := filepath.Join(dir, "BENCH_"+sanitizeName(name)+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// sanitizeName keeps the export filename shell-friendly.
+func sanitizeName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, name)
 }
 
 func esrpTable1(g generator) string {

@@ -1,0 +1,261 @@
+// Command esrpcampaign sweeps a whole experiment grid — strategy ×
+// checkpoint interval T × redundancy φ × matrix × node count × scenario
+// seed — concurrently across host cores, injecting stochastic multi-failure
+// scenarios into every cell, and exports the per-cell results and seed
+// aggregates as JSON (and optionally CSV).
+//
+// Examples:
+//
+//	# 2 strategies × 2 intervals × 3 seeds under a Poisson failure process
+//	esrpcampaign -gen emilia -n 16 -nodes 16 -strategies esrp,imcr \
+//	             -ts 20,50 -phis 1 -seeds 3 -mtbf 4000 -horizon 400
+//
+//	# correlated blade failures against a finite spare pool
+//	esrpcampaign -gen poisson3d -n 16 -nodes 12 -strategies esrp \
+//	             -ts 20 -phis 4 -seeds 5 -mtbf 2000 -group 4 -group-prob 0.5 \
+//	             -spares 4 -json campaign.json -csv campaign.csv
+//
+// The grid is deterministic: the same flags always produce byte-identical
+// JSON, regardless of -workers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"esrp"
+	"esrp/internal/faultsim"
+)
+
+func main() {
+	var (
+		gens = flag.String("gen", "poisson2d", "comma-separated matrix generators: poisson2d|poisson3d|emilia|audikw|banded")
+		n    = flag.Int("n", 32, "generator grid scale")
+		seed = flag.Int64("matrix-seed", 1, "generator seed")
+
+		nodesCSV   = flag.String("nodes", "8", "comma-separated simulated cluster sizes")
+		strategies = flag.String("strategies", "esrp,imcr", "comma-separated strategies: none|esr|esrp|imcr")
+		tsCSV      = flag.String("ts", "20", "comma-separated checkpoint intervals T")
+		phisCSV    = flag.String("phis", "1", "comma-separated redundancy counts φ")
+		seeds      = flag.Int("seeds", 3, "number of scenario seeds (1..N)")
+
+		model     = flag.String("model", "exp", "failure process: exp|weibull|fixed (fixed uses -events)")
+		mtbf      = flag.Float64("mtbf", 5000, "per-node mean iterations between failures")
+		shape     = flag.Float64("shape", 1, "Weibull shape k (model=weibull)")
+		horizon   = flag.Int("horizon", 200, "last iteration failures may strike (set near the expected iteration count)")
+		group     = flag.Int("group", 1, "correlated blade width (adjacent ranks failing together)")
+		groupProb = flag.Float64("group-prob", 0, "probability a failure takes down its whole blade")
+		maxEvents = flag.Int("max-events", 0, "cap on events per cell (0 = none)")
+		events    = flag.String("events", "", "fixed schedule for -model fixed: iter:r0-r1;iter:r0;... (e.g. 20:2-3;50:5)")
+
+		spares = flag.Int("spares", 0, "replacement-node pool for ESR/ESRP cells (0 = unlimited); exhaustion falls back to the no-spare shrink")
+
+		rtol    = flag.Float64("rtol", 1e-8, "outer relative tolerance")
+		maxIter = flag.Int("maxiter", 0, "iteration cap (0 = solver default)")
+		workers = flag.Int("workers", 0, "concurrent cells on the host (0 = GOMAXPROCS)")
+
+		jsonPath = flag.String("json", "-", "JSON output path (- = stdout)")
+		csvPath  = flag.String("csv", "", "optional CSV output path (one row per cell)")
+		quiet    = flag.Bool("q", false, "suppress the aggregate table and summary on stderr")
+	)
+	flag.Parse()
+
+	grid, err := buildGrid(gridFlags{
+		gens: *gens, n: *n, seed: *seed,
+		nodes: *nodesCSV, strategies: *strategies, ts: *tsCSV, phis: *phisCSV, seeds: *seeds,
+		model: *model, mtbf: *mtbf, shape: *shape, horizon: *horizon,
+		group: *group, groupProb: *groupProb, maxEvents: *maxEvents, events: *events,
+		spares: *spares, rtol: *rtol, maxIter: *maxIter, workers: *workers,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	rep, err := esrp.RunCampaign(*grid)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if !*quiet {
+		fmt.Fprint(os.Stderr, esrp.RenderCampaignTable(rep))
+		fmt.Fprint(os.Stderr, esrp.CampaignSummary(rep))
+	}
+	if err := writeOut(*jsonPath, rep.WriteJSON); err != nil {
+		fatalf("writing JSON: %v", err)
+	}
+	if *csvPath != "" {
+		if err := writeOut(*csvPath, rep.WriteCSV); err != nil {
+			fatalf("writing CSV: %v", err)
+		}
+	}
+}
+
+// gridFlags bundles the parsed flag values for buildGrid, keeping the flag
+// wiring testable.
+type gridFlags struct {
+	gens       string
+	n          int
+	seed       int64
+	nodes      string
+	strategies string
+	ts         string
+	phis       string
+	seeds      int
+	model      string
+	mtbf       float64
+	shape      float64
+	horizon    int
+	group      int
+	groupProb  float64
+	maxEvents  int
+	events     string
+	spares     int
+	rtol       float64
+	maxIter    int
+	workers    int
+}
+
+func buildGrid(f gridFlags) (*esrp.CampaignGrid, error) {
+	var matrices []esrp.CampaignMatrix
+	for _, g := range splitCSV(f.gens) {
+		a, name, err := genMatrix(g, f.n, f.seed)
+		if err != nil {
+			return nil, err
+		}
+		matrices = append(matrices, esrp.CampaignMatrix{Name: name, A: a})
+	}
+	nodes, err := parseInts(f.nodes)
+	if err != nil {
+		return nil, fmt.Errorf("bad -nodes: %w", err)
+	}
+	ts, err := parseInts(f.ts)
+	if err != nil {
+		return nil, fmt.Errorf("bad -ts: %w", err)
+	}
+	phis, err := parseInts(f.phis)
+	if err != nil {
+		return nil, fmt.Errorf("bad -phis: %w", err)
+	}
+	var strats []esrp.Strategy
+	for _, s := range splitCSV(f.strategies) {
+		st, err := esrp.ParseStrategy(s)
+		if err != nil {
+			return nil, err
+		}
+		strats = append(strats, st)
+	}
+	if f.seeds < 1 {
+		return nil, fmt.Errorf("need at least 1 seed, got %d", f.seeds)
+	}
+	seedList := make([]int64, f.seeds)
+	for i := range seedList {
+		seedList[i] = int64(i + 1)
+	}
+
+	mdl, err := esrp.ParseScenarioModel(f.model)
+	if err != nil {
+		return nil, err
+	}
+	horizon := f.horizon
+	if horizon <= 0 {
+		horizon = 200
+	}
+	scenario := esrp.FailureScenario{
+		Model: mdl, MTBF: f.mtbf, Shape: f.shape, Horizon: horizon,
+		GroupSize: f.group, GroupProb: f.groupProb, MaxEvents: f.maxEvents,
+	}
+	if mdl == esrp.ScenarioFixed {
+		scenario.Schedule, err = parseSchedule(f.events)
+		if err != nil {
+			return nil, fmt.Errorf("bad -events: %w", err)
+		}
+	}
+
+	return &esrp.CampaignGrid{
+		Matrices:   matrices,
+		Nodes:      nodes,
+		Strategies: strats,
+		Ts:         ts,
+		Phis:       phis,
+		Seeds:      seedList,
+		Scenario:   scenario,
+		Spares:     f.spares,
+		Rtol:       f.rtol,
+		MaxIter:    f.maxIter,
+		Workers:    f.workers,
+	}, nil
+}
+
+func genMatrix(gen string, n int, seed int64) (*esrp.CSR, string, error) {
+	switch gen {
+	case "poisson2d":
+		return esrp.Poisson2D(n, n), fmt.Sprintf("poisson2d-%dx%d", n, n), nil
+	case "poisson3d":
+		return esrp.Poisson3D(n, n, n), fmt.Sprintf("poisson3d-%d", n), nil
+	case "emilia":
+		return esrp.EmiliaLike(n, n, n, seed), fmt.Sprintf("emilia-like-%d", n), nil
+	case "audikw":
+		return esrp.AudikwLike(n, n, n, 3, seed), fmt.Sprintf("audikw-like-%dx3", n), nil
+	case "banded":
+		return esrp.BandedSPD(n*n, 8, seed), fmt.Sprintf("banded-%d", n*n), nil
+	}
+	return nil, "", fmt.Errorf("unknown generator %q", gen)
+}
+
+// parseSchedule reads a fixed event list "iter:r0-r1;iter:r0;...", e.g.
+// "20:2-3;50:5" = ranks {2,3} fail at iteration 20, rank 5 at 50.
+func parseSchedule(s string) ([]esrp.FailureSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("model fixed needs -events")
+	}
+	return faultsim.ParseSchedule(s)
+}
+
+func writeOut(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range splitCSV(csv) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "esrpcampaign: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"testing"
+
+	"esrp"
+)
+
+func TestParseSchedule(t *testing.T) {
+	ev, err := parseSchedule("20:2-3;50:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 2 {
+		t.Fatalf("got %d events", len(ev))
+	}
+	if ev[0].Iteration != 20 || len(ev[0].Ranks) != 2 || ev[0].Ranks[0] != 2 || ev[0].Ranks[1] != 3 {
+		t.Fatalf("event 0 = %+v", ev[0])
+	}
+	if ev[1].Iteration != 50 || len(ev[1].Ranks) != 1 || ev[1].Ranks[0] != 5 {
+		t.Fatalf("event 1 = %+v", ev[1])
+	}
+	for _, bad := range []string{"", "20", "x:1", "20:a", "20:5-3"} {
+		if _, err := parseSchedule(bad); err == nil {
+			t.Errorf("schedule %q accepted", bad)
+		}
+	}
+}
+
+func TestBuildGrid(t *testing.T) {
+	g, err := buildGrid(gridFlags{
+		gens: "poisson2d", n: 16, seed: 1,
+		nodes: "4,8", strategies: "esr,imcr", ts: "10", phis: "1", seeds: 2,
+		model: "exp", mtbf: 1000, shape: 1, horizon: 50,
+		group: 1, rtol: 1e-8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Matrices) != 1 || len(g.Nodes) != 2 || len(g.Strategies) != 2 || len(g.Seeds) != 2 {
+		t.Fatalf("grid axes wrong: %+v", g)
+	}
+	if g.Scenario.Model != esrp.ScenarioExponential || g.Scenario.Horizon != 50 {
+		t.Fatalf("scenario = %+v", g.Scenario)
+	}
+
+	if _, err := buildGrid(gridFlags{gens: "nope", n: 8, nodes: "4", strategies: "esr", ts: "10", phis: "1", seeds: 1, model: "exp", mtbf: 1}); err == nil {
+		t.Error("unknown generator accepted")
+	}
+	if _, err := buildGrid(gridFlags{gens: "poisson2d", n: 8, nodes: "4", strategies: "esr", ts: "10", phis: "1", seeds: 1, model: "fixed", events: ""}); err == nil {
+		t.Error("fixed model without events accepted")
+	}
+	if _, err := buildGrid(gridFlags{gens: "poisson2d", n: 8, nodes: "4", strategies: "esr", ts: "10", phis: "1", seeds: 0, model: "exp", mtbf: 1}); err == nil {
+		t.Error("zero seeds accepted")
+	}
+}
+
+// End-to-end: a tiny grid through the library surface the CLI drives.
+func TestTinyGridEndToEnd(t *testing.T) {
+	g, err := buildGrid(gridFlags{
+		gens: "poisson2d", n: 24, seed: 1,
+		nodes: "6", strategies: "esr", ts: "10", phis: "1", seeds: 2,
+		model: "exp", mtbf: 600, shape: 1, horizon: 40,
+		group: 1, rtol: 1e-8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := esrp.RunCampaign(*g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Err != "" || !c.Converged {
+			t.Errorf("cell seed %d: err=%q converged=%v", c.Seed, c.Err, c.Converged)
+		}
+	}
+}

@@ -9,6 +9,12 @@
 //	esrpsolve -gen emilia -n 16 -nodes 16 -strategy esrp -T 20 -phi 2 \
 //	          -fail-iter 100 -fail-ranks 3,4
 //	esrpsolve -matrix system.mtx -nodes 8 -strategy imcr -T 50 -phi 1
+//
+// Beyond the paper's single event, a whole failure timeline can be injected
+// with -events "iter:ranks;..." against a finite spare pool:
+//
+//	esrpsolve -gen poisson2d -n 48 -nodes 8 -strategy esr -phi 1 \
+//	          -events "20:3;45:5;70:2" -spares 1
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"strings"
 
 	"esrp"
+	"esrp/internal/faultsim"
 	"esrp/internal/sparse"
 )
 
@@ -39,6 +46,8 @@ func main() {
 
 		failIter  = flag.Int("fail-iter", -1, "iteration to inject a node failure at (-1 = none)")
 		failRanks = flag.String("fail-ranks", "0", "comma-separated contiguous ranks that fail")
+		events    = flag.String("events", "", "multi-event failure timeline iter:r0-r1;iter:r0;... (e.g. 20:2-3;50:5)")
+		spares    = flag.Int("spares", 0, "replacement-node pool (0 = unlimited); exhausted pool falls back to the no-spare shrink (ESR/ESRP)")
 		noSpare   = flag.Bool("no-spare", false, "recover onto surviving nodes instead of replacements (ESR/ESRP)")
 
 		pipelined = flag.Bool("pipelined", false, "use the communication-hiding pipelined PCG variant (strategies none|imcr)")
@@ -71,7 +80,17 @@ func main() {
 		BalanceNNZ:                  *balance,
 		ResidualReplacementInterval: *rr,
 	}
-	if *failIter >= 0 {
+	cfg.Spares = *spares
+	if *events != "" {
+		if *failIter >= 0 {
+			fatalf("use either -fail-iter/-fail-ranks (single event) or -events (timeline), not both")
+		}
+		timeline, err := faultsim.ParseSchedule(*events)
+		if err != nil {
+			fatalf("bad -events: %v", err)
+		}
+		cfg.Failures = timeline
+	} else if *failIter >= 0 {
 		ranks, err := parseRanks(*failRanks)
 		if err != nil {
 			fatalf("bad -fail-ranks: %v", err)
@@ -99,6 +118,9 @@ func main() {
 	if res.Recovered {
 		fmt.Printf("recovered from node failure: rolled back to iteration %d (%d iterations wasted), recovery cost %.4g s simulated\n",
 			res.RecoveredAt, res.WastedIters, res.RecoveryTime)
+		for i, ev := range res.Events {
+			fmt.Printf("  event %d: %s\n", i, ev)
+		}
 		if res.ActiveNodes < *nodes {
 			fmt.Printf("cluster shrank to %d active nodes (no spares)\n", res.ActiveNodes)
 		}

@@ -51,10 +51,12 @@
 package esrp
 
 import (
+	"esrp/internal/campaign"
 	"esrp/internal/ckptmodel"
 	"esrp/internal/cluster"
 	"esrp/internal/core"
 	"esrp/internal/dist"
+	"esrp/internal/faultsim"
 	"esrp/internal/harness"
 	"esrp/internal/matgen"
 	"esrp/internal/precond"
@@ -63,12 +65,18 @@ import (
 
 // Core solver types.
 type (
-	// Config describes one distributed solve; see core.Config.
+	// Config describes one distributed solve; see core.Config. Beyond the
+	// paper's single Failure event, Config.Failures takes a multi-event
+	// timeline and Config.Spares bounds the replacement-node pool (recovery
+	// falls back to the no-spare shrink once it is exhausted).
 	Config = core.Config
-	// Result is the outcome of a solve.
+	// Result is the outcome of a solve; Result.Events records every handled
+	// failure event of a multi-failure timeline.
 	Result = core.Result
 	// FailureSpec marks the iteration and ranks of an injected node failure.
 	FailureSpec = core.FailureSpec
+	// RecoveryEvent is one handled failure event of a timeline.
+	RecoveryEvent = core.RecoveryEvent
 	// Strategy selects the resilience scheme.
 	Strategy = core.Strategy
 	// CostModel holds the simulated machine parameters.
@@ -189,6 +197,11 @@ type (
 	ExperimentSpec = harness.Spec
 	// ExperimentReport aggregates the sweep's measurements.
 	ExperimentReport = harness.Report
+	// ExperimentCell is one measured (strategy, T, φ) setting of a report.
+	ExperimentCell = harness.Cell
+	// ExperimentScenario is the report's multi-failure scenario cell
+	// (Spec.Timeline), with the per-event recovery records.
+	ExperimentScenario = harness.ScenarioCell
 	// Table1Row is one matrix-inventory entry.
 	Table1Row = harness.Table1Row
 )
@@ -219,6 +232,62 @@ func RenderFigureASCII(r *ExperimentReport, failureFree bool) string {
 
 // ExperimentSummary prints a compact headline comparison for a report.
 func ExperimentSummary(r *ExperimentReport) string { return harness.Summary(r) }
+
+// Failure scenarios and experiment campaigns (internal/faultsim and
+// internal/campaign): stochastic multi-failure processes compiled into event
+// timelines, and concurrent sweeps of whole experiment grids.
+type (
+	// FailureScenario describes a seeded failure process — fixed schedule,
+	// exponential (Poisson), or Weibull per-node inter-arrivals, optionally
+	// with correlated group failures — compiled into a Config.Failures
+	// timeline.
+	FailureScenario = faultsim.Scenario
+	// ScenarioModel selects the scenario's inter-arrival process.
+	ScenarioModel = faultsim.Model
+	// CampaignGrid describes one experiment campaign: the sweep axes
+	// (strategy × T × φ × matrix × node count × seed), the failure process,
+	// and shared solver settings.
+	CampaignGrid = campaign.Grid
+	// CampaignMatrix names one SPD system of a campaign grid.
+	CampaignMatrix = campaign.MatrixSpec
+	// CampaignReport is a campaign's full output: per-cell results plus
+	// median/percentile aggregates over seeds.
+	CampaignReport = campaign.Report
+	// CampaignCell is one grid point's condensed result.
+	CampaignCell = campaign.Cell
+	// CampaignAggregate condenses one grid group over its seeds.
+	CampaignAggregate = campaign.Aggregate
+)
+
+// Scenario models.
+const (
+	// ScenarioFixed replays an explicit schedule.
+	ScenarioFixed = faultsim.ModelFixed
+	// ScenarioExponential draws per-node Poisson failure processes.
+	ScenarioExponential = faultsim.ModelExponential
+	// ScenarioWeibull draws per-node Weibull inter-arrivals (clustered or
+	// wear-out failures, by shape).
+	ScenarioWeibull = faultsim.ModelWeibull
+)
+
+// CompileScenario turns a failure scenario into the ordered event timeline
+// Config.Failures consumes. Deterministic: the same scenario (including
+// seed) always compiles to the same events.
+func CompileScenario(s FailureScenario) ([]FailureSpec, error) { return s.Compile() }
+
+// ParseScenarioModel converts a model name ("fixed", "exp", "weibull").
+func ParseScenarioModel(s string) (ScenarioModel, error) { return faultsim.ParseModel(s) }
+
+// RunCampaign executes a whole experiment grid concurrently across host
+// cores — each cell an independent simulated cluster — and aggregates the
+// per-seed results. Output is bitwise reproducible for a fixed grid.
+func RunCampaign(g CampaignGrid) (*CampaignReport, error) { return campaign.Run(g) }
+
+// RenderCampaignTable prints a campaign's aggregate table.
+func RenderCampaignTable(r *CampaignReport) string { return campaign.Render(r) }
+
+// CampaignSummary prints a compact campaign headline.
+func CampaignSummary(r *CampaignReport) string { return campaign.Summary(r) }
 
 // Checkpoint-interval planning (the Young/Daly models the paper cites).
 

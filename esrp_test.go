@@ -225,3 +225,66 @@ func TestOverlapFasterOnBenchAnalogs(t *testing.T) {
 		}
 	}
 }
+
+// The scenario/campaign surface: compile a stochastic failure process, run a
+// multi-failure solve against a finite spare pool, and sweep a tiny grid.
+func TestScenarioAndCampaignAPI(t *testing.T) {
+	events, err := esrp.CompileScenario(esrp.FailureScenario{
+		Model: esrp.ScenarioExponential, Nodes: 8, Horizon: 60, MTBF: 250, Seed: 11,
+	})
+	if err != nil {
+		t.Fatalf("CompileScenario: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("scenario compiled to no events")
+	}
+
+	a := esrp.Poisson2D(48, 48)
+	b, xstar := esrp.RHSForSolution(a, 3)
+	res, err := esrp.Solve(esrp.Config{
+		A: a, B: b, Nodes: 8,
+		Strategy: esrp.StrategyESR, Phi: 1, Spares: 1,
+		Failures: []esrp.FailureSpec{
+			{Iteration: 20, Ranks: []int{3}},
+			{Iteration: 45, Ranks: []int{5}},
+			{Iteration: 70, Ranks: []int{2}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("multi-failure Solve: %v", err)
+	}
+	if !res.Converged {
+		t.Fatal("multi-failure solve did not converge")
+	}
+	if len(res.Events) != 3 {
+		t.Fatalf("got %d recovery events, want 3", len(res.Events))
+	}
+	if res.ActiveNodes != 6 {
+		t.Fatalf("spare pool of 1 with 3 events must shrink to 6 nodes, got %d", res.ActiveNodes)
+	}
+	maxErr := 0.0
+	for i, x := range res.X {
+		maxErr = math.Max(maxErr, math.Abs(x-xstar[i]))
+	}
+	if maxErr > 1e-5 {
+		t.Fatalf("max error %g after shrinking recovery", maxErr)
+	}
+
+	rep, err := esrp.RunCampaign(esrp.CampaignGrid{
+		Matrices:   []esrp.CampaignMatrix{{Name: "poisson", A: esrp.Poisson2D(32, 32)}},
+		Nodes:      []int{6},
+		Strategies: []esrp.Strategy{esrp.StrategyESR},
+		Phis:       []int{1},
+		Seeds:      []int64{1, 2},
+		Scenario:   esrp.FailureScenario{Model: esrp.ScenarioExponential, MTBF: 400, Horizon: 50},
+	})
+	if err != nil {
+		t.Fatalf("RunCampaign: %v", err)
+	}
+	if len(rep.Cells) != 2 || len(rep.Aggregates) != 1 {
+		t.Fatalf("campaign shape: %d cells, %d aggregates", len(rep.Cells), len(rep.Aggregates))
+	}
+	if esrp.RenderCampaignTable(rep) == "" || esrp.CampaignSummary(rep) == "" {
+		t.Fatal("campaign rendering empty")
+	}
+}

@@ -1,0 +1,505 @@
+// Package campaign runs whole experiment grids — the cross-product of
+// strategy × checkpoint interval T × redundancy φ × matrix × node count ×
+// scenario seed — concurrently across host cores, one simulated cluster per
+// cell. Where the harness replays the paper's fixed constellation (single
+// injected failure, two locations), a campaign sweeps stochastic
+// multi-failure scenarios from internal/faultsim over arbitrary grids,
+// aggregates per-cell results into median/percentile statistics over seeds,
+// and exports structured JSON/CSV for downstream analysis.
+//
+// Every cell is deterministic (the simulated cluster is, and the scenario is
+// seeded), so a campaign's output is bitwise reproducible regardless of how
+// the cells are scheduled onto workers.
+package campaign
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+
+	"esrp/internal/cluster"
+	"esrp/internal/core"
+	"esrp/internal/faultsim"
+	"esrp/internal/precond"
+	"esrp/internal/sparse"
+)
+
+// MatrixSpec names one SPD system of the grid.
+type MatrixSpec struct {
+	Name string
+	A    *sparse.CSR
+	B    []float64 // nil = b for x* = ones
+}
+
+// Grid describes one campaign: the sweep axes, the failure process, and the
+// solver settings shared by every cell.
+type Grid struct {
+	Matrices   []MatrixSpec
+	Nodes      []int           // simulated cluster sizes
+	Strategies []core.Strategy // swept strategies
+	Ts         []int           // checkpoint intervals (ESRP uses T > 2, IMCR T > 1)
+	Phis       []int           // redundancy counts
+	Seeds      []int64         // scenario seeds; one cell per seed
+
+	// Scenario is the failure-process template; its Nodes and Seed fields
+	// are overridden per cell. The zero value (ModelFixed with no schedule)
+	// means failure-free cells.
+	Scenario faultsim.Scenario
+
+	// Spares is the replacement-node pool for ESR/ESRP cells (0 =
+	// unlimited, the paper's framework); once exhausted, recovery falls
+	// back to the no-spare shrink. Other strategies always replace.
+	Spares int
+
+	Rtol      float64 // outer tolerance (default 1e-8)
+	MaxIter   int     // iteration cap (0 = solver default)
+	MaxBlock  int     // block Jacobi bound (default 10)
+	Precond   precond.Kind
+	CostModel *cluster.CostModel
+
+	// Workers bounds the number of cells solved concurrently on the host
+	// (default: GOMAXPROCS). Each cell spawns its own simulated cluster.
+	Workers int
+}
+
+// Cell is one grid point: its coordinates, the compiled scenario, and the
+// condensed solve result.
+type Cell struct {
+	Matrix   string `json:"matrix"`
+	Nodes    int    `json:"nodes"`
+	Strategy string `json:"strategy"`
+	T        int    `json:"t"`
+	Phi      int    `json:"phi"`
+	Seed     int64  `json:"seed"`
+
+	Events  []core.FailureSpec `json:"events,omitempty"`  // compiled timeline (after φ-clamping)
+	Clamped int                `json:"clamped,omitempty"` // events narrowed to fit φ
+
+	Converged    bool                 `json:"converged"`
+	Iterations   int                  `json:"iterations"`
+	TotalSteps   int                  `json:"total_steps"`
+	RelResidual  float64              `json:"rel_residual"`
+	SimTime      float64              `json:"sim_time_s"`
+	RecoveryTime float64              `json:"recovery_time_s"`
+	WastedIters  int                  `json:"wasted_iters"`
+	Drift        float64              `json:"drift"`
+	MaxNodeBytes int64                `json:"max_node_bytes"`
+	HaloBytes    int64                `json:"halo_bytes"`
+	BytesSent    int64                `json:"bytes_sent"`
+	ActiveNodes  int                  `json:"active_nodes"`
+	Recoveries   []core.RecoveryEvent `json:"recoveries,omitempty"`
+
+	Err string `json:"error,omitempty"` // non-empty: the cell failed to run
+}
+
+// Aggregate condenses one (matrix, nodes, strategy, T, φ) group over its
+// seeds: robust statistics of the per-seed results.
+type Aggregate struct {
+	Matrix   string `json:"matrix"`
+	Nodes    int    `json:"nodes"`
+	Strategy string `json:"strategy"`
+	T        int    `json:"t"`
+	Phi      int    `json:"phi"`
+
+	Seeds         int     `json:"seeds"`
+	ConvergedRate float64 `json:"converged_rate"`
+	Errors        int     `json:"errors"`
+
+	MedianTime float64 `json:"median_time_s"`
+	P10Time    float64 `json:"p10_time_s"`
+	P90Time    float64 `json:"p90_time_s"`
+
+	MedianIters    float64 `json:"median_iters"`
+	MedianRecovery float64 `json:"median_recovery_s"`
+	MedianWasted   float64 `json:"median_wasted_iters"`
+	MeanEvents     float64 `json:"mean_events"`
+	MaxNodeBytes   int64   `json:"max_node_bytes"`
+	ShrunkCells    int     `json:"shrunk_cells"` // cells that finished on fewer nodes
+}
+
+// Report is a campaign's full output.
+type Report struct {
+	Scenario   string      `json:"scenario"` // the failure process (per-cell seeds listed in Seeds)
+	Seeds      []int64     `json:"seeds"`    // scenario seeds the grid swept
+	Spares     int         `json:"spares"`
+	Cells      []Cell      `json:"cells"`
+	Aggregates []Aggregate `json:"aggregates"`
+}
+
+func (g Grid) withDefaults() (Grid, error) {
+	if len(g.Matrices) == 0 {
+		return g, fmt.Errorf("campaign: no matrices")
+	}
+	// Default into a copy: Run takes the grid by value, so filling names
+	// and right-hand sides must not leak into the caller's slice.
+	g.Matrices = append([]MatrixSpec(nil), g.Matrices...)
+	for i := range g.Matrices {
+		m := &g.Matrices[i]
+		if m.A == nil {
+			return g, fmt.Errorf("campaign: matrix %d (%q) is nil", i, m.Name)
+		}
+		if m.Name == "" {
+			m.Name = fmt.Sprintf("matrix%d", i)
+		}
+		if m.B == nil {
+			b := make([]float64, m.A.Rows)
+			one := make([]float64, m.A.Rows)
+			for k := range one {
+				one[k] = 1
+			}
+			m.A.MulVecRows(b, one, 0, m.A.Rows)
+			m.B = b
+		}
+	}
+	if len(g.Nodes) == 0 {
+		g.Nodes = []int{8}
+	}
+	if len(g.Strategies) == 0 {
+		g.Strategies = []core.Strategy{core.StrategyESRP, core.StrategyIMCR}
+	}
+	if len(g.Ts) == 0 {
+		g.Ts = []int{20}
+	}
+	if len(g.Phis) == 0 {
+		g.Phis = []int{1}
+	}
+	if len(g.Seeds) == 0 {
+		g.Seeds = []int64{1}
+	}
+	// A seed-independent scenario (fixed schedule, or the zero value =
+	// failure-free) makes every seed's cell bit-identical; collapse the
+	// seed axis instead of running redundant copies.
+	if g.Scenario.Model == faultsim.ModelFixed && len(g.Seeds) > 1 {
+		g.Seeds = g.Seeds[:1]
+	}
+	if g.Rtol <= 0 {
+		g.Rtol = 1e-8
+	}
+	if g.MaxBlock <= 0 {
+		g.MaxBlock = 10
+	}
+	if g.Spares < 0 {
+		return g, fmt.Errorf("campaign: spares must be ≥ 0, got %d", g.Spares)
+	}
+	if g.Workers <= 0 {
+		g.Workers = runtime.GOMAXPROCS(0)
+	}
+	return g, nil
+}
+
+// tsFor maps the grid's interval list to the strategy's admissible cells,
+// mirroring the harness conventions: ESR is the T = 1 point, ESRP needs
+// T > 2, IMCR T > 1, and None has no interval axis.
+func (g Grid) tsFor(s core.Strategy) []int {
+	switch s {
+	case core.StrategyNone:
+		return []int{0}
+	case core.StrategyESR:
+		return []int{1}
+	case core.StrategyESRP:
+		var out []int
+		for _, t := range g.Ts {
+			if t > 2 {
+				out = append(out, t)
+			}
+		}
+		return out
+	case core.StrategyIMCR:
+		var out []int
+		for _, t := range g.Ts {
+			if t > 1 {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+func (g Grid) phisFor(s core.Strategy) []int {
+	if s == core.StrategyNone {
+		return []int{0}
+	}
+	return g.Phis
+}
+
+// Run executes the campaign: it enumerates the grid, solves every cell
+// concurrently across Workers host goroutines, and aggregates the per-seed
+// statistics. Cell errors are recorded, not fatal; Run fails only on an
+// invalid grid.
+func Run(g Grid) (*Report, error) {
+	g, err := g.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+
+	// Enumerate the cross-product in deterministic order. A requested
+	// strategy with no admissible interval is a configuration error, not a
+	// silent omission from the export.
+	for _, strat := range g.Strategies {
+		if len(g.tsFor(strat)) == 0 {
+			return nil, fmt.Errorf("campaign: strategy %v has no admissible checkpoint interval in %v (ESRP needs T > 2, IMCR T > 1)", strat, g.Ts)
+		}
+	}
+	var cells []Cell
+	for _, m := range g.Matrices {
+		for _, n := range g.Nodes {
+			for _, strat := range g.Strategies {
+				for _, t := range g.tsFor(strat) {
+					for _, phi := range g.phisFor(strat) {
+						for _, seed := range g.Seeds {
+							cells = append(cells, Cell{
+								Matrix: m.Name, Nodes: n,
+								Strategy: strat.String(), T: t, Phi: phi, Seed: seed,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("campaign: empty grid (no admissible strategy×T cells)")
+	}
+
+	matrices := make(map[string]MatrixSpec, len(g.Matrices))
+	for _, m := range g.Matrices {
+		matrices[m.Name] = m
+	}
+
+	// Solve the cells on a bounded worker pool. Results land at their cell
+	// index, so the report order is independent of scheduling.
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < g.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				g.runCell(&cells[i], matrices[cells[i].Matrix])
+			}
+		}()
+	}
+	for i := range cells {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	return &Report{
+		Scenario:   g.Scenario.String(),
+		Seeds:      g.Seeds,
+		Spares:     g.Spares,
+		Cells:      cells,
+		Aggregates: aggregate(cells),
+	}, nil
+}
+
+// runCell compiles the cell's scenario, solves it, and condenses the result
+// in place.
+func (g Grid) runCell(c *Cell, m MatrixSpec) {
+	strat, err := core.ParseStrategy(c.Strategy)
+	if err != nil {
+		c.Err = err.Error()
+		return
+	}
+
+	var events []core.FailureSpec
+	if g.Scenario.Model != faultsim.ModelFixed || len(g.Scenario.Schedule) > 0 {
+		sc := g.Scenario
+		sc.Nodes = c.Nodes
+		sc.Seed = c.Seed
+		events, err = sc.Compile()
+		if err != nil {
+			c.Err = err.Error()
+			return
+		}
+	}
+	// Redundancy covers at most φ simultaneous failures; events wider than
+	// the cell's φ are clamped to their first φ ranks (still a contiguous
+	// block) so every cell of the grid is admissible. The clamp count is
+	// recorded — a grid with many clamps should raise φ or shrink the
+	// correlation groups.
+	if strat != core.StrategyNone && c.Phi > 0 {
+		for i := range events {
+			if len(events[i].Ranks) > c.Phi {
+				events[i].Ranks = events[i].Ranks[:c.Phi]
+				c.Clamped++
+			}
+		}
+	}
+	c.Events = events
+
+	cfg := core.Config{
+		A: m.A, B: m.B, Nodes: c.Nodes,
+		Strategy: strat, T: c.T, Phi: c.Phi,
+		Rtol: g.Rtol, MaxIter: g.MaxIter,
+		PrecondKind: g.Precond, MaxBlock: g.MaxBlock,
+		CostModel: g.CostModel,
+		Failures:  events,
+	}
+	if strat == core.StrategyESR || strat == core.StrategyESRP {
+		cfg.Spares = g.Spares
+	}
+	res, err := core.Solve(cfg)
+	if err != nil {
+		c.Err = err.Error()
+		return
+	}
+	c.Converged = res.Converged
+	c.Iterations = res.Iterations
+	c.TotalSteps = res.TotalSteps
+	c.RelResidual = res.RelResidual
+	c.SimTime = res.SimTime
+	c.RecoveryTime = res.RecoveryTime
+	c.WastedIters = res.WastedIters
+	c.Drift = res.Drift
+	c.MaxNodeBytes = res.MaxNodeBytes
+	c.HaloBytes = res.HaloBytes
+	c.BytesSent = res.BytesSent
+	c.ActiveNodes = res.ActiveNodes
+	c.Recoveries = res.Events
+}
+
+// aggKey orders groups deterministically.
+type aggKey struct {
+	Matrix   string
+	Nodes    int
+	Strategy string
+	T, Phi   int
+}
+
+// aggregate groups the cells by coordinates and computes the seed
+// statistics.
+func aggregate(cells []Cell) []Aggregate {
+	groups := make(map[aggKey][]*Cell)
+	var keys []aggKey
+	for i := range cells {
+		c := &cells[i]
+		k := aggKey{c.Matrix, c.Nodes, c.Strategy, c.T, c.Phi}
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], c)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Matrix != b.Matrix {
+			return a.Matrix < b.Matrix
+		}
+		if a.Nodes != b.Nodes {
+			return a.Nodes < b.Nodes
+		}
+		if a.Strategy != b.Strategy {
+			return a.Strategy < b.Strategy
+		}
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		return a.Phi < b.Phi
+	})
+
+	out := make([]Aggregate, 0, len(keys))
+	for _, k := range keys {
+		group := groups[k]
+		a := Aggregate{Matrix: k.Matrix, Nodes: k.Nodes, Strategy: k.Strategy, T: k.T, Phi: k.Phi, Seeds: len(group)}
+		var times, iters, recov, wasted []float64
+		events := 0
+		for _, c := range group {
+			if c.Err != "" {
+				a.Errors++
+				continue
+			}
+			if c.Converged {
+				a.ConvergedRate++
+			}
+			times = append(times, c.SimTime)
+			iters = append(iters, float64(c.Iterations))
+			recov = append(recov, c.RecoveryTime)
+			wasted = append(wasted, float64(c.WastedIters))
+			// Count failures that actually struck (events scheduled past
+			// convergence never fire), matching Summary's figure.
+			events += len(c.Recoveries)
+			a.MaxNodeBytes = max(a.MaxNodeBytes, c.MaxNodeBytes)
+			if c.ActiveNodes > 0 && c.ActiveNodes < c.Nodes {
+				a.ShrunkCells++
+			}
+		}
+		if n := len(group) - a.Errors; n > 0 {
+			a.ConvergedRate /= float64(n)
+			a.MeanEvents = float64(events) / float64(n)
+		}
+		a.MedianTime = percentile(times, 50)
+		a.P10Time = percentile(times, 10)
+		a.P90Time = percentile(times, 90)
+		a.MedianIters = percentile(iters, 50)
+		a.MedianRecovery = percentile(recov, 50)
+		a.MedianWasted = percentile(wasted, 50)
+		out = append(out, a)
+	}
+	return out
+}
+
+// percentile returns the nearest-rank p-th percentile of xs (0 on empty).
+func percentile(xs []float64, p int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := (p*len(s) + 50) / 100 // nearest rank, 1-based
+	if i < 1 {
+		i = 1
+	}
+	if i > len(s) {
+		i = len(s)
+	}
+	return s[i-1]
+}
+
+// WriteJSON emits the full report (cells + aggregates) as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV emits one row per cell — the flat form for spreadsheets and
+// plotting scripts.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"matrix", "nodes", "strategy", "t", "phi", "seed",
+		"events", "converged", "iterations", "sim_time_s", "recovery_time_s",
+		"wasted_iters", "drift", "max_node_bytes", "halo_bytes", "active_nodes", "error",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		row := []string{
+			c.Matrix, strconv.Itoa(c.Nodes), c.Strategy, strconv.Itoa(c.T),
+			strconv.Itoa(c.Phi), strconv.FormatInt(c.Seed, 10),
+			strconv.Itoa(len(c.Recoveries)), strconv.FormatBool(c.Converged),
+			strconv.Itoa(c.Iterations),
+			strconv.FormatFloat(c.SimTime, 'g', -1, 64),
+			strconv.FormatFloat(c.RecoveryTime, 'g', -1, 64),
+			strconv.Itoa(c.WastedIters),
+			strconv.FormatFloat(c.Drift, 'g', -1, 64),
+			strconv.FormatInt(c.MaxNodeBytes, 10),
+			strconv.FormatInt(c.HaloBytes, 10),
+			strconv.Itoa(c.ActiveNodes),
+			c.Err,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

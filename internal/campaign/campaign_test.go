@@ -1,0 +1,211 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"esrp/internal/core"
+	"esrp/internal/faultsim"
+	"esrp/internal/matgen"
+)
+
+func tinyGrid() Grid {
+	return Grid{
+		Matrices:   []MatrixSpec{{Name: "poisson", A: matgen.Poisson2D(32, 32)}},
+		Nodes:      []int{6},
+		Strategies: []core.Strategy{core.StrategyESR, core.StrategyESRP, core.StrategyIMCR},
+		Ts:         []int{10},
+		Phis:       []int{1},
+		Seeds:      []int64{1, 2},
+		Scenario: faultsim.Scenario{
+			Model: faultsim.ModelExponential, MTBF: 400, Horizon: 60,
+		},
+		Workers: 4,
+	}
+}
+
+func TestRunTinyGrid(t *testing.T) {
+	rep, err := Run(tinyGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 matrix × 1 node count × (ESR + ESRP + IMCR) × 1 T × 1 φ × 2 seeds.
+	if want := 3 * 2; len(rep.Cells) != want {
+		t.Fatalf("got %d cells, want %d", len(rep.Cells), want)
+	}
+	if len(rep.Aggregates) != 3 {
+		t.Fatalf("got %d aggregates, want 3", len(rep.Aggregates))
+	}
+	for _, c := range rep.Cells {
+		if c.Err != "" {
+			t.Errorf("cell %s/%s T=%d φ=%d seed=%d errored: %s", c.Matrix, c.Strategy, c.T, c.Phi, c.Seed, c.Err)
+		}
+		if !c.Converged {
+			t.Errorf("cell %s seed %d did not converge", c.Strategy, c.Seed)
+		}
+	}
+	for _, a := range rep.Aggregates {
+		if a.Seeds != 2 || a.ConvergedRate != 1 {
+			t.Errorf("aggregate %+v: want 2 seeds, full convergence", a)
+		}
+		if a.MedianTime <= 0 || a.P90Time < a.P10Time {
+			t.Errorf("aggregate times inconsistent: %+v", a)
+		}
+	}
+}
+
+// The same grid must produce byte-identical JSON regardless of worker
+// scheduling — the reproducibility contract of the campaign engine.
+func TestCampaignReproducible(t *testing.T) {
+	render := func(workers int) []byte {
+		g := tinyGrid()
+		g.Workers = workers
+		rep, err := Run(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b, c := render(1), render(4), render(4)
+	if !bytes.Equal(a, b) || !bytes.Equal(b, c) {
+		t.Fatal("campaign JSON differs across runs/worker counts")
+	}
+}
+
+// A spare-pool grid: events beyond the pool shrink the cluster, and the
+// aggregates surface it.
+func TestCampaignSparePoolShrinks(t *testing.T) {
+	g := Grid{
+		Matrices:   []MatrixSpec{{Name: "poisson", A: matgen.Poisson2D(40, 40)}},
+		Nodes:      []int{8},
+		Strategies: []core.Strategy{core.StrategyESR},
+		Phis:       []int{1},
+		Seeds:      []int64{5},
+		Spares:     1,
+		Scenario: faultsim.Scenario{
+			Model: faultsim.ModelFixed,
+			Schedule: []core.FailureSpec{
+				{Iteration: 15, Ranks: []int{2}},
+				{Iteration: 35, Ranks: []int{5}},
+				{Iteration: 55, Ranks: []int{1}},
+			},
+		},
+	}
+	rep, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Cells[0]
+	if c.Err != "" || !c.Converged {
+		t.Fatalf("cell failed: err=%q converged=%v", c.Err, c.Converged)
+	}
+	if c.ActiveNodes != 6 {
+		t.Fatalf("active nodes %d, want 6 (two shrinks past the 1-spare pool)", c.ActiveNodes)
+	}
+	if len(c.Recoveries) != 3 {
+		t.Fatalf("got %d recoveries, want 3", len(c.Recoveries))
+	}
+	if rep.Aggregates[0].ShrunkCells != 1 {
+		t.Fatalf("aggregate shrunk cells = %d, want 1", rep.Aggregates[0].ShrunkCells)
+	}
+}
+
+// Events wider than the cell's φ are clamped, not fatal.
+func TestCampaignClampsWideEvents(t *testing.T) {
+	g := Grid{
+		Matrices:   []MatrixSpec{{Name: "poisson", A: matgen.Poisson2D(32, 32)}},
+		Nodes:      []int{8},
+		Strategies: []core.Strategy{core.StrategyESR},
+		Phis:       []int{1},
+		Seeds:      []int64{1},
+		Scenario: faultsim.Scenario{
+			Model: faultsim.ModelFixed,
+			Schedule: []core.FailureSpec{
+				{Iteration: 20, Ranks: []int{2, 3}}, // ψ = 2 > φ = 1
+			},
+		},
+	}
+	rep, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Cells[0]
+	if c.Err != "" {
+		t.Fatalf("clamped cell errored: %s", c.Err)
+	}
+	if c.Clamped != 1 || len(c.Events[0].Ranks) != 1 {
+		t.Fatalf("clamping not applied: clamped=%d event ranks=%v", c.Clamped, c.Events[0].Ranks)
+	}
+}
+
+func TestWriteJSONAndCSV(t *testing.T) {
+	g := tinyGrid()
+	g.Strategies = []core.Strategy{core.StrategyESR}
+	g.Seeds = []int64{1}
+	rep, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jb bytes.Buffer
+	if err := rep.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(jb.Bytes(), &back); err != nil {
+		t.Fatalf("exported JSON does not round-trip: %v", err)
+	}
+	if len(back.Cells) != len(rep.Cells) || len(back.Aggregates) != len(rep.Aggregates) {
+		t.Fatal("JSON round-trip lost cells or aggregates")
+	}
+
+	var cb bytes.Buffer
+	if err := rep.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(cb.String()), "\n")
+	if len(lines) != 1+len(rep.Cells) {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), 1+len(rep.Cells))
+	}
+	if !strings.HasPrefix(lines[0], "matrix,nodes,strategy") {
+		t.Fatalf("unexpected CSV header %q", lines[0])
+	}
+}
+
+func TestRenderAndSummary(t *testing.T) {
+	rep, err := Run(tinyGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := Render(rep)
+	if !strings.Contains(tbl, "ESR") || !strings.Contains(tbl, "IMCR") || !strings.Contains(tbl, "poisson") {
+		t.Fatalf("render missing groups:\n%s", tbl)
+	}
+	sum := Summary(rep)
+	if !strings.Contains(sum, "campaign:") || !strings.Contains(sum, "fastest group") {
+		t.Fatalf("summary incomplete:\n%s", sum)
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	if _, err := Run(Grid{}); err == nil {
+		t.Error("empty grid accepted")
+	}
+	if _, err := Run(Grid{Matrices: []MatrixSpec{{Name: "x"}}}); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	// A grid whose strategies admit no T cell is empty.
+	g := Grid{
+		Matrices:   []MatrixSpec{{Name: "p", A: matgen.Poisson2D(8, 8)}},
+		Strategies: []core.Strategy{core.StrategyESRP},
+		Ts:         []int{1}, // ESRP needs T > 2
+	}
+	if _, err := Run(g); err == nil {
+		t.Error("empty cross-product accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render prints the aggregate table: one row per (matrix, nodes, strategy,
+// T, φ) group with the seed statistics.
+func Render(r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Campaign results — scenario: %s", r.Scenario)
+	if r.Spares > 0 {
+		fmt.Fprintf(&b, ", spare pool: %d", r.Spares)
+	}
+	fmt.Fprintf(&b, "\n")
+	fmt.Fprintf(&b, "%-16s %5s %-8s %5s %4s %5s | %5s %9s %9s %9s | %7s %7s %6s\n",
+		"Matrix", "Nodes", "Strategy", "T", "phi", "seeds",
+		"conv", "med[s]", "p10[s]", "p90[s]", "med rec", "events", "shrunk")
+	for _, a := range r.Aggregates {
+		fmt.Fprintf(&b, "%-16s %5d %-8s %5d %4d %5d | %4.0f%% %9.4g %9.4g %9.4g | %7.4g %7.1f %6d\n",
+			a.Matrix, a.Nodes, a.Strategy, a.T, a.Phi, a.Seeds,
+			100*a.ConvergedRate, a.MedianTime, a.P10Time, a.P90Time,
+			a.MedianRecovery, a.MeanEvents, a.ShrunkCells)
+	}
+	if errs := totalErrors(r); errs > 0 {
+		fmt.Fprintf(&b, "%d cells failed to run; see their error fields in the JSON export.\n", errs)
+	}
+	return b.String()
+}
+
+// Summary prints a compact headline: grid size, convergence, and the
+// fastest/slowest strategy groups by median time.
+func Summary(r *Report) string {
+	var b strings.Builder
+	converged, shrunk, recoveries := 0, 0, 0
+	for _, c := range r.Cells {
+		if c.Converged {
+			converged++
+		}
+		if c.ActiveNodes > 0 && c.ActiveNodes < c.Nodes {
+			shrunk++
+		}
+		recoveries += len(c.Recoveries)
+	}
+	fmt.Fprintf(&b, "campaign: %d cells (%d groups), %d converged, %d failure events handled, %d cells finished on a shrunken cluster\n",
+		len(r.Cells), len(r.Aggregates), converged, recoveries, shrunk)
+	if errs := totalErrors(r); errs > 0 {
+		fmt.Fprintf(&b, "  %d cells errored\n", errs)
+	}
+	if len(r.Aggregates) > 0 {
+		best, worst := r.Aggregates[0], r.Aggregates[0]
+		for _, a := range r.Aggregates[1:] {
+			if a.MedianTime < best.MedianTime {
+				best = a
+			}
+			if a.MedianTime > worst.MedianTime {
+				worst = a
+			}
+		}
+		fmt.Fprintf(&b, "  fastest group: %s/%s T=%d φ=%d on %d nodes — median %.4g s\n",
+			best.Matrix, best.Strategy, best.T, best.Phi, best.Nodes, best.MedianTime)
+		fmt.Fprintf(&b, "  slowest group: %s/%s T=%d φ=%d on %d nodes — median %.4g s\n",
+			worst.Matrix, worst.Strategy, worst.T, worst.Phi, worst.Nodes, worst.MedianTime)
+	}
+	return b.String()
+}
+
+func totalErrors(r *Report) int {
+	n := 0
+	for _, c := range r.Cells {
+		if c.Err != "" {
+			n++
+		}
+	}
+	return n
+}

@@ -244,6 +244,11 @@ func (nd *Node) Size() int { return len(nd.view.ranks) }
 // GlobalRank returns the node's rank in the top-level communicator.
 func (nd *Node) GlobalRank() int { return nd.g }
 
+// GlobalOf returns the top-level rank of the given view rank — the inverse
+// of the mapping Sub establishes. Callers deriving a sub-communicator from
+// view-relative rank lists translate through this before calling Sub.
+func (nd *Node) GlobalOf(viewRank int) int { return nd.view.ranks[viewRank] }
+
 // Clock returns the node's simulated time.
 func (nd *Node) Clock() float64 { return nd.state.clock }
 

@@ -77,12 +77,12 @@ type FailureSpec struct {
 	// Iteration at which the failure strikes. The failure is injected
 	// immediately after the SpMV communication of this iteration, the point
 	// at which redundant copies for the iteration (if any) have been pushed.
-	Iteration int
+	Iteration int `json:"iteration"`
 	// Ranks lists the failed nodes (ascending). The paper uses contiguous
 	// blocks; ESR/ESRP recovery requires contiguity of the lost index range
 	// only for the inner-system extraction, and this implementation checks
 	// and enforces it.
-	Ranks []int
+	Ranks []int `json:"ranks"`
 }
 
 // Config describes one solve.
@@ -106,7 +106,29 @@ type Config struct {
 	InnerRtol    float64 // reconstruction inner-solve tolerance (paper: 1e-14)
 	InnerMaxIter int     // inner-solve iteration cap (0 = 100·|If|)
 
-	Failure *FailureSpec // nil = failure-free run
+	// Failure injects a single node-failure event — the paper's framework.
+	// It is shorthand for a one-element Failures timeline; setting both is an
+	// error.
+	Failure *FailureSpec
+
+	// Failures is the multi-event failure timeline: events fire in order at
+	// strictly increasing iterations (validated eagerly). Each event destroys
+	// the dynamic state of its ranks exactly like the single-event framework;
+	// the strategy's recovery runs after every event. Ranks are interpreted
+	// in the rank space current at fire time (identical to the initial space
+	// until a no-spare shrink removes nodes).
+	Failures []FailureSpec
+
+	// Spares is the replacement-node pool the recovery draws from: 0 means
+	// an unlimited pool (every failed node is replaced — the paper's
+	// framework, where failed nodes act as their own replacements); n > 0
+	// caps the pool at n nodes, depleted across the failure timeline. Once
+	// the pool cannot cover an event, ESR/ESRP recovery falls back to the
+	// no-spare shrink path of [Pachajoa, Pacher, Gansterer 2019]: a survivor
+	// adopts the failed rows and the solve continues on the smaller cluster.
+	// A finite pool therefore requires ESR or ESRP. NoSpareNodes is the
+	// pool-of-zero special case.
+	Spares int
 
 	CostModel *cluster.CostModel // nil = cluster.DefaultCostModel()
 
@@ -235,29 +257,104 @@ func (cfg Config) withDefaults() (Config, error) {
 			return cfg, fmt.Errorf("core: NoSpareNodes requires ESR or ESRP, got %v", cfg.Strategy)
 		}
 	}
-	if f := cfg.Failure; f != nil {
-		if len(f.Ranks) == 0 {
-			return cfg, fmt.Errorf("core: failure spec without ranks")
+	if cfg.Spares < 0 {
+		return cfg, fmt.Errorf("core: spare pool must be ≥ 0 (0 = unlimited), got %d", cfg.Spares)
+	}
+	if cfg.Spares > 0 {
+		if cfg.Strategy != StrategyESR && cfg.Strategy != StrategyESRP {
+			return cfg, fmt.Errorf("core: a finite spare pool requires ESR or ESRP (the shrink fallback), got %v", cfg.Strategy)
 		}
-		for i, r := range f.Ranks {
-			if r < 0 || r >= cfg.Nodes {
-				return cfg, fmt.Errorf("core: failed rank %d out of range [0,%d)", r, cfg.Nodes)
-			}
-			if i > 0 && f.Ranks[i] != f.Ranks[i-1]+1 {
-				return cfg, fmt.Errorf("core: failed ranks must be a contiguous ascending block, got %v", f.Ranks)
-			}
+		if cfg.NoSpareNodes {
+			return cfg, fmt.Errorf("core: NoSpareNodes (empty pool) conflicts with Spares=%d", cfg.Spares)
+		}
+	}
+	if cfg.Failure != nil {
+		if len(cfg.Failures) > 0 {
+			return cfg, fmt.Errorf("core: set either Failure (single event) or Failures (timeline), not both")
+		}
+		cfg.Failures = []FailureSpec{*cfg.Failure}
+	}
+	for k := range cfg.Failures {
+		f := &cfg.Failures[k]
+		if err := f.validate(cfg.Nodes); err != nil {
+			return cfg, fmt.Errorf("core: failure event %d: %w", k, err)
 		}
 		if cfg.Strategy != StrategyNone && len(f.Ranks) > cfg.Phi {
-			return cfg, fmt.Errorf("core: %d simultaneous failures exceed redundancy phi=%d", len(f.Ranks), cfg.Phi)
+			return cfg, fmt.Errorf("core: failure event %d: %d simultaneous failures exceed redundancy phi=%d", k, len(f.Ranks), cfg.Phi)
 		}
-		if len(f.Ranks) >= cfg.Nodes {
-			return cfg, fmt.Errorf("core: all nodes failing is unrecoverable")
-		}
-		if f.Iteration < 0 {
-			return cfg, fmt.Errorf("core: failure iteration must be ≥ 0, got %d", f.Iteration)
+		if k > 0 && f.Iteration <= cfg.Failures[k-1].Iteration {
+			return cfg, fmt.Errorf("core: failure events out of order: event %d at iteration %d is not after event %d at iteration %d",
+				k, f.Iteration, k-1, cfg.Failures[k-1].Iteration)
 		}
 	}
 	return cfg, nil
+}
+
+// validate checks one failure event against a cluster of n nodes: non-empty
+// contiguous ascending ranks (duplicates included in the check), ranks in
+// range, not the whole cluster, and a non-negative iteration.
+func (f *FailureSpec) validate(n int) error {
+	if len(f.Ranks) == 0 {
+		return fmt.Errorf("failure spec without ranks")
+	}
+	for i, r := range f.Ranks {
+		if r < 0 || r >= n {
+			return fmt.Errorf("failed rank %d out of range [0,%d)", r, n)
+		}
+		if i > 0 && f.Ranks[i] == f.Ranks[i-1] {
+			return fmt.Errorf("duplicate failed rank %d in %v", r, f.Ranks)
+		}
+		if i > 0 && f.Ranks[i] != f.Ranks[i-1]+1 {
+			return fmt.Errorf("failed ranks must be a contiguous ascending block, got %v", f.Ranks)
+		}
+	}
+	if len(f.Ranks) >= n {
+		return fmt.Errorf("all nodes failing is unrecoverable")
+	}
+	if f.Iteration < 0 {
+		return fmt.Errorf("failure iteration must be ≥ 0, got %d", f.Iteration)
+	}
+	return nil
+}
+
+// Recovery modes of a handled failure event (RecoveryEvent.Mode).
+const (
+	// RecoverySpare: the failed ranks were replaced from the spare pool and
+	// the exact state was reconstructed on the replacements (Alg. 2), or an
+	// IMCR checkpoint was restored.
+	RecoverySpare = "spare"
+	// RecoveryShrink: no spare was available; a surviving node adopted the
+	// failed rows and the cluster continued smaller (no-spare recovery).
+	RecoveryShrink = "shrink"
+	// RecoveryRestart: nothing to reconstruct from (no completed storage
+	// stage, or redundant copies incomplete after an earlier loss); the
+	// Krylov process restarted from the surviving iterand.
+	RecoveryRestart = "restart"
+	// RecoverySkipped: the event could not be applied to the current cluster
+	// (e.g. its ranks no longer exist after a shrink) and was dropped.
+	RecoverySkipped = "skipped"
+)
+
+// RecoveryEvent records one handled failure event of the timeline.
+type RecoveryEvent struct {
+	Iteration   int    `json:"iteration"`    // iteration the failure struck
+	Ranks       []int  `json:"ranks"`        // failed ranks, in the rank space current at fire time
+	Mode        string `json:"mode"`         // Recovery* constant
+	RecoveredAt int    `json:"recovered_at"` // iteration the solver resumed from
+	WastedIters int    `json:"wasted_iters"` // iterations discarded by this event's rollback
+	SparesLeft  int    `json:"spares_left"`  // replacement nodes remaining afterwards (-1 = unlimited)
+	ActiveNodes int    `json:"active_nodes"` // nodes still iterating after the event
+}
+
+// String renders the event for logs and reports: what failed, how it was
+// recovered, and what the cluster looked like afterwards.
+func (ev RecoveryEvent) String() string {
+	spares := "∞"
+	if ev.SparesLeft >= 0 {
+		spares = fmt.Sprintf("%d", ev.SparesLeft)
+	}
+	return fmt.Sprintf("iteration %d, ranks %v → %s recovery, resumed at %d (%d active nodes, %s spares left)",
+		ev.Iteration, ev.Ranks, ev.Mode, ev.RecoveredAt, ev.ActiveNodes, spares)
 }
 
 // Result reports the outcome of a solve.
@@ -274,20 +371,28 @@ type Result struct {
 	RecoveryTime float64       // modeled time of gathers + reconstruction (0 if no failure)
 	WastedIters  int           // iterations discarded by the rollback (0 if no failure)
 
-	Recovered   bool    // a failure was injected and recovery succeeded
-	RecoveredAt int     // the iteration the solver rolled back to
+	Recovered   bool    // at least one failure was injected and recovery succeeded
+	RecoveredAt int     // the iteration the last recovery rolled back to
 	Drift       float64 // residual drift, Eq. 2 of the paper
 	ActiveNodes int     // nodes still iterating at the end (< Nodes after a no-spare recovery)
+
+	// Events records every failure event that fired, in timeline order —
+	// including events skipped because their ranks no longer existed.
+	// Events scheduled after the solve converged (or past MaxIter) never
+	// fire and have no entry, so len(Events) can be below len(Failures).
+	Events []RecoveryEvent
 
 	BytesSent int64 // total point-to-point payload volume
 	MsgsSent  int64
 
 	// MaxNodeBytes is the largest per-node dynamic solver footprint (local
 	// vector blocks, owned+ghost SpMV buffer, redundant storage) over all
-	// nodes, sampled at the end of the solve — O(n/s + halo), independent
-	// of the global size, now that no solver path holds a full-length
-	// vector after setup. Transient recovery scratch (e.g. the no-spare
-	// adopter's repartitioning buffers) is not captured by the sample.
+	// nodes — O(n/s + halo), independent of the global size, now that no
+	// solver path holds a full-length vector after setup. Transient recovery
+	// scratch (the reconstruction gathers, the no-spare adopter's
+	// repartitioning buffers, checkpoint payloads in flight) is sampled at
+	// its peak too, so recovery-heavy scenarios report their true high-water
+	// mark rather than the steady state.
 	MaxNodeBytes int64
 	// HaloBytes is the measured halo payload volume (plain ghost entries
 	// plus resilient copies) actually shipped by the SpMV exchanges, summed

@@ -25,7 +25,7 @@ import (
 // paper, their cost is excluded from the modeled runtime (only Compute and
 // message traffic advance the simulated clock).
 func (run *nodeRun) innerSolve(failed []int, flo, fhi int, w []float64) {
-	sub := run.nd.Sub(failed)
+	sub := run.subOf(failed)
 	if sub == nil {
 		panic("core: innerSolve called on a surviving node")
 	}

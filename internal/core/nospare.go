@@ -21,18 +21,19 @@ import (
 // trajectory despite the repartitioning.
 //
 // Failed nodes lose their state and retire; the function returns the
-// iteration the survivors resume from.
-func (run *nodeRun) recoverNoSpare(j int) int {
+// iteration the survivors resume from. The recovery mode is RecoveryShrink
+// (the cluster got smaller either way, even when the reconstruction had to
+// degrade to a restart of the surviving iterand).
+func (run *nodeRun) recoverNoSpare(j int, failed []int) (int, string) {
 	st, _ := run.res.(*esrState)
-	failed := run.cfg.Failure.Ranks
-	n := run.cfg.Nodes
+	n := run.nd.Size()
 	flo, fhi := run.part.RangeOfParts(failed[0], failed[len(failed)-1]+1)
 	fsize := fhi - flo
 
-	if run.amFailed() {
+	if run.amFailed(failed) {
 		run.loseDynamicState()
 		run.retired = true
-		return j
+		return j, RecoveryShrink
 	}
 	t0 := run.nd.Clock()
 
@@ -42,12 +43,12 @@ func (run *nodeRun) recoverNoSpare(j int) int {
 			survivors = append(survivors, s)
 		}
 	}
-	sub := run.nd.Sub(survivors)
+	sub := run.subOf(survivors)
 	adopter := adopterRank(failed, n)
 	me := run.nd.Rank()
 
 	// Roll surviving nodes back to the last completed storage stage.
-	if st.t > 1 && st.hasStars {
+	if st != nil && st.t > 1 && st.hasStars {
 		copy(run.x, st.xs)
 		copy(run.r, st.rs)
 		copy(run.z, st.zs)
@@ -57,7 +58,7 @@ func (run *nodeRun) recoverNoSpare(j int) int {
 	// The lowest surviving rank (sub rank 0) announces the reconstruction
 	// iteration and β*.
 	var hdr [3]float64
-	if sub.Rank() == 0 {
+	if sub.Rank() == 0 && st != nil {
 		if st.t == 1 && j >= 1 {
 			hdr = [3]float64{float64(j), run.betaPrev, 1}
 		} else if st.t > 1 && st.hasStars {
@@ -70,10 +71,10 @@ func (run *nodeRun) recoverNoSpare(j int) int {
 	if !recoverable {
 		// Nothing to reconstruct from: repartition with the lost block
 		// zeroed and restart the Krylov process from the surviving iterand.
-		run.shrinkTo(sub, survivors, adopter, flo, fhi, nil, nil, nil, nil, jrec, betaStar)
+		run.shrinkTo(sub, survivors, failed, adopter, flo, fhi, nil, nil, nil, nil, jrec, betaStar)
 		run.initFromX()
 		run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
-		return j
+		return j, RecoveryShrink
 	}
 
 	// Gather the redundant copies p′^(jrec−1), p′^(jrec) of the failed
@@ -124,7 +125,34 @@ func (run *nodeRun) recoverNoSpare(j int) int {
 			}
 		}
 	}
-	if me == adopter {
+	if len(run.events) > 1 {
+		// Multi-event timelines can leave the gather incomplete (a holder
+		// lost its queue to an earlier event, or the event width exceeds the
+		// shrunken cluster's redundancy). The survivors vote; on any gap the
+		// shrink proceeds with the failed block zeroed and a consistent
+		// restart instead of reconstructing from partial data.
+		okLoc := 1.0
+		if me == adopter {
+			for _, cvr := range covered {
+				if cvr != 3 {
+					okLoc = 0
+					break
+				}
+			}
+		}
+		if sub.AllreduceScalar(cluster.OpMin, okLoc) == 0 {
+			run.shrinkTo(sub, survivors, failed, adopter, flo, fhi, nil, nil, nil, nil, jrec, betaStar)
+			run.initFromX()
+			run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
+			// Mirror the recoverESR vote path: ESRP survivors already hold
+			// the starred state of jrec, so resume there and count the
+			// discarded work; ESR never rolled back.
+			if st.t > 1 {
+				return jrec, RecoveryShrink
+			}
+			return j, RecoveryShrink
+		}
+	} else if me == adopter {
 		for i, cvr := range covered {
 			if cvr != 3 {
 				panic(fmt.Sprintf("core: entry %d of failed range not covered by redundant copies (mask %d)",
@@ -140,6 +168,11 @@ func (run *nodeRun) recoverNoSpare(j int) int {
 	// Exact state reconstruction of the failed range, local to the adopter.
 	var rIf, zIf, xIf []float64
 	if me == adopter {
+		// Adopter scratch high-water mark: the gathered copies, the halo
+		// map (~2 words per entry), the reconstruction vectors, and the
+		// sequential inner solve's working set all live at once on top of
+		// the steady state.
+		run.notePeak(8*int64(3*fsize /* pPrev, pCur, covered */ +11*fsize /* rIf,zIf,w,xIf + inner PCG */) + 16*int64(len(xHalo)))
 		failedPC, err := run.failedRangePC(failed)
 		if err != nil {
 			panic(fmt.Sprintf("core: rebuilding failed nodes' preconditioner: %v", err))
@@ -170,10 +203,22 @@ func (run *nodeRun) recoverNoSpare(j int) int {
 	}
 
 	// Repartition onto the survivors and continue.
-	run.shrinkTo(sub, survivors, adopter, flo, fhi, xIf, rIf, zIf, pCur, jrec, betaStar)
+	run.shrinkTo(sub, survivors, failed, adopter, flo, fhi, xIf, rIf, zIf, pCur, jrec, betaStar)
 	run.restoreScalars(betaStar, st)
 	run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
-	return jrec
+	return jrec, RecoveryShrink
+}
+
+// subOf derives the sub-communicator handle for the given current-view
+// ranks, translating them to top-level ranks as cluster.Sub requires — the
+// distinction matters from the second shrink on, when the current view no
+// longer equals the top-level communicator.
+func (run *nodeRun) subOf(viewRanks []int) *cluster.Node {
+	g := make([]int, len(viewRanks))
+	for i, r := range viewRanks {
+		g[i] = run.nd.GlobalOf(r)
+	}
+	return run.nd.Sub(g)
 }
 
 // adopterRank returns the surviving rank that adopts the failed block: the
@@ -268,7 +313,7 @@ func (run *nodeRun) innerSolveLocal(flo, fhi int, w []float64, pc precond.Precon
 // in the non-recoverable fallback, leaving zeros), every survivor switches
 // to the sub-communicator and the new plan, and the redundancy machinery is
 // re-established for the shrunken cluster.
-func (run *nodeRun) shrinkTo(sub *cluster.Node, survivors []int, adopter, flo, fhi int,
+func (run *nodeRun) shrinkTo(sub *cluster.Node, survivors, failed []int, adopter, flo, fhi int,
 	xIf, rIf, zIf, pIf []float64, jrec int, betaStar float64) {
 	me := run.nd.Rank()
 	amAdopter := me == adopter
@@ -285,10 +330,11 @@ func (run *nodeRun) shrinkTo(sub *cluster.Node, survivors []int, adopter, flo, f
 	if err != nil {
 		panic(fmt.Sprintf("core: no-spare plan: %v", err))
 	}
-	phiNew := run.cfg.Phi
+	phiNew := run.phi
 	if max := len(survivors) - 1; phiNew > max {
 		phiNew = max
 	}
+	run.phi = phiNew
 	if phiNew >= 1 {
 		augment := newPlan.Augment
 		if run.cfg.NaiveAugment {
@@ -306,6 +352,8 @@ func (run *nodeRun) shrinkTo(sub *cluster.Node, survivors []int, adopter, flo, f
 	newLo, newHi := newPart.Lo(subRank), newPart.Hi(subRank)
 	newM := newHi - newLo
 	if amAdopter {
+		// The adopter briefly holds both the old and the new vector sets.
+		run.notePeak(8 * int64(5*newM))
 		x := make([]float64, newM)
 		r := make([]float64, newM)
 		z := make([]float64, newM)
@@ -327,7 +375,7 @@ func (run *nodeRun) shrinkTo(sub *cluster.Node, survivors []int, adopter, flo, f
 		run.q = make([]float64, newM)
 
 		ownPC := run.pc
-		failedPC, err := run.failedRangePC(run.cfg.Failure.Ranks)
+		failedPC, err := run.failedRangePC(failed)
 		if err != nil {
 			panic(fmt.Sprintf("core: no-spare preconditioner: %v", err))
 		}

@@ -64,7 +64,7 @@ func SolvePipelined(cfg Config) (*Result, error) {
 			panic(err)
 		}
 		run.main(result)
-		nodeMem[nd.GlobalRank()] = run.pipeStateBytes()
+		nodeMem[nd.GlobalRank()] = max(run.pipeStateBytes(), run.peakBytes)
 		nodeHalo[nd.GlobalRank()] = run.ex.HaloBytes()
 	})
 	if runErr != nil {
@@ -200,10 +200,13 @@ func (run *pipeRun) main(result *Result) {
 		run.spmvInto(run.nv, run.mv)
 
 		// Failure injection point: after the SpMV of the marked iteration.
-		if run.failurePend && j == cfg.Failure.Iteration {
-			run.failurePend = false
-			jrec := run.pipeRecover(j)
-			run.wastedIters = j - jrec
+		// The pipelined solver supports the same multi-event timeline as the
+		// standard path; it never shrinks, so events always apply.
+		if ev := run.dueEvent(j); ev != nil {
+			run.nextEvent++
+			jrec, mode := run.pipeRecover(j, ev.Ranks)
+			run.logEvent(ev, ev.Ranks, mode, jrec, j)
+			run.wastedIters += j - jrec
 			run.recoveredAt = jrec
 			run.recovered = true
 			j = jrec
@@ -257,6 +260,7 @@ func (run *pipeRun) main(result *Result) {
 		result.Drift = drift
 		result.Residuals = run.residLog
 		result.ActiveNodes = run.nd.Size()
+		result.Events = run.eventLog
 	}
 }
 
@@ -272,6 +276,15 @@ func (run *pipeRun) pipeStateBytes() int64 {
 		}
 	}
 	return b
+}
+
+// notePipePeak samples a transient recovery high-water mark against the
+// pipelined steady state (the base notePeak would undercount the auxiliary
+// recurrence vectors).
+func (run *pipeRun) notePipePeak(extra int64) {
+	if b := run.pipeStateBytes() + extra; b > run.peakBytes {
+		run.peakBytes = b
+	}
 }
 
 // pipeDrift evaluates Eq. 2 for the pipelined solver.
@@ -343,20 +356,19 @@ func (run *pipeRun) pipeLose() {
 
 // pipeRecover handles an injected failure: IMCR rollback when a checkpoint
 // exists, local restart otherwise.
-func (run *pipeRun) pipeRecover(j int) int {
+func (run *pipeRun) pipeRecover(j int, failed []int) (int, string) {
 	if dt := run.cfg.DetectionTime; dt > 0 {
 		run.nd.AddClock(dt) // failure detection + communicator repair
 		defer func() { run.recoveryTime += dt }()
 	}
-	failed := run.cfg.Failure.Ranks
-	amFailed := run.amFailed()
+	amFailed := run.amFailed(failed)
 	t0 := run.nd.Clock()
 	if amFailed {
 		run.pipeLose()
 	}
 	ck := run.ckpt
 
-	root := run.lowestSurvivor()
+	root := run.lowestSurvivor(failed)
 	var hdr [2]float64
 	if run.nd.Rank() == root && ck != nil && ck.ownIter >= 0 {
 		hdr = [2]float64{float64(ck.ownIter), 1}
@@ -367,7 +379,7 @@ func (run *pipeRun) pipeRecover(j int) int {
 	if !recoverable {
 		run.restart()
 		run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
-		return j
+		return j, RecoveryRestart
 	}
 
 	n := run.cfg.Nodes
@@ -392,6 +404,7 @@ func (run *pipeRun) pipeRecover(j int) int {
 			run.nd.Send(fr, tagCkptRestore, data)
 		} else if me == fr {
 			data := run.nd.Recv(sender, tagCkptRestore)
+			run.notePipePeak(8 * int64(len(data))) // restore payload in flight
 			run.pipeRestore(data)
 			ck.ownIter = jrec
 			ck.ownData = append([]float64(nil), data...)
@@ -399,6 +412,17 @@ func (run *pipeRun) pipeRecover(j int) int {
 	}
 	if !amFailed {
 		run.pipeRestore(ck.ownData)
+	}
+	if run.pendingEvents() {
+		// Re-run the checkpoint exchange for the restored state so that a
+		// follow-up event whose surviving buddy is a just-recovered node
+		// still finds a checkpoint to restore from (mirrors recoverIMCR).
+		for _, b := range ck.buddies {
+			run.nd.Send(b, tagCheckpoint, ck.ownData)
+		}
+		for _, src := range ck.sources {
+			ck.held[src] = run.nd.Recv(src, tagCheckpoint)
+		}
 	}
 	// Re-establish ‖b‖ (replicated scalar lost on the failed nodes).
 	bLoc := run.cfg.B[run.lo:run.hi]
@@ -409,5 +433,5 @@ func (run *pipeRun) pipeRecover(j int) int {
 		run.bNormGlobal = 1
 	}
 	run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
-	return jrec
+	return jrec, RecoverySpare
 }

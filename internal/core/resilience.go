@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"esrp/internal/aspmv"
+	"esrp/internal/cluster"
 	"esrp/internal/vec"
 )
 
@@ -228,8 +229,8 @@ func (run *nodeRun) loseDynamicState() {
 	}
 }
 
-func (run *nodeRun) amFailed() bool {
-	for _, r := range run.cfg.Failure.Ranks {
+func (run *nodeRun) amFailed(failed []int) bool {
+	for _, r := range failed {
 		if r == run.nd.Rank() {
 			return true
 		}
@@ -239,52 +240,87 @@ func (run *nodeRun) amFailed() bool {
 
 // lowestSurvivor returns the smallest rank outside the contiguous failed
 // block (guaranteed to exist: not all nodes may fail).
-func (run *nodeRun) lowestSurvivor() int {
-	f := run.cfg.Failure.Ranks
-	if f[0] > 0 {
+func (run *nodeRun) lowestSurvivor(failed []int) int {
+	if failed[0] > 0 {
 		return 0
 	}
-	return f[len(f)-1] + 1
+	return failed[len(failed)-1] + 1
 }
 
 func rankIsFailed(failed []int, s int) bool {
 	return len(failed) > 0 && s >= failed[0] && s <= failed[len(failed)-1]
 }
 
-// recoverFromFailure runs the strategy's recovery protocol on every node and
-// returns the iteration the solver resumes from.
-func (run *nodeRun) recoverFromFailure(j int) int {
+// handleFailure processes one timeline event on every node: it decides
+// between the spare-pool recovery and the no-spare shrink fallback, runs the
+// strategy's protocol, and records the event. It returns the iteration the
+// solver resumes from and the recovery mode. All inputs to the decision
+// (timeline, spare counter, cluster size) are replicated deterministically,
+// so every node branches identically without communication.
+func (run *nodeRun) handleFailure(j int, ev *FailureSpec) (int, string) {
+	run.nextEvent++
+	failed := ev.Ranks
+	// Events outlive the cluster they were written against: after a shrink
+	// the rank space is smaller, and an event whose block no longer exists
+	// (or that would kill every remaining node) is dropped, visibly.
+	if n := run.nd.Size(); failed[len(failed)-1] >= n || len(failed) >= n {
+		run.logEvent(ev, failed, RecoverySkipped, j, j)
+		return j, RecoverySkipped
+	}
 	if dt := run.cfg.DetectionTime; dt > 0 {
 		run.nd.AddClock(dt) // failure detection + communicator repair
 	}
 	var jrec int
+	var mode string
 	switch run.cfg.Strategy {
 	case StrategyNone:
-		jrec = run.localRestart(j)
+		jrec = run.localRestart(j, failed)
+		mode = RecoveryRestart
 	case StrategyESR, StrategyESRP:
-		if run.cfg.NoSpareNodes {
-			jrec = run.recoverNoSpare(j)
+		if run.sparesLeft >= 0 && run.sparesLeft < len(failed) {
+			// Pool exhausted (or was empty from the start): no replacements
+			// for this event, recover onto the survivors.
+			jrec, mode = run.recoverNoSpare(j, failed)
 		} else {
-			jrec = run.recoverESR(j)
+			if run.sparesLeft > 0 {
+				run.sparesLeft -= len(failed)
+			}
+			jrec, mode = run.recoverESR(j, failed)
 		}
 	case StrategyIMCR:
-		jrec = run.recoverIMCR(j)
+		jrec, mode = run.recoverIMCR(j, failed)
 	default:
 		panic(fmt.Sprintf("core: no recovery for strategy %v", run.cfg.Strategy))
 	}
 	// The protocols measure their own elapsed time from after the detection
 	// charge, so the detection cost is added on top here.
 	run.recoveryTime += run.cfg.DetectionTime
-	return jrec
+	if !run.retired {
+		run.logEvent(ev, failed, mode, jrec, j)
+	}
+	return jrec, mode
+}
+
+// logEvent appends one handled event to the node's replicated log.
+func (run *nodeRun) logEvent(ev *FailureSpec, failed []int, mode string, jrec, j int) {
+	run.eventLog = append(run.eventLog, RecoveryEvent{
+		Iteration:   ev.Iteration,
+		Ranks:       append([]int(nil), failed...),
+		Mode:        mode,
+		RecoveredAt: jrec,
+		WastedIters: j - jrec,
+		SparesLeft:  run.sparesLeft,
+		ActiveNodes: run.nd.Size(),
+	})
 }
 
 // localRestart is the no-redundancy fallback (and the StrategyNone
 // behaviour): lost entries stay zeroed and the Krylov process restarts from
 // the surviving iterand, discarding all built-up search-direction
 // conjugacy. This is the expensive scenario motivating ESR.
-func (run *nodeRun) localRestart(j int) int {
+func (run *nodeRun) localRestart(j int, failed []int) int {
 	t0 := run.nd.Clock()
-	if run.amFailed() {
+	if run.amFailed(failed) {
 		run.loseDynamicState()
 	}
 	run.initFromX()
@@ -316,12 +352,13 @@ func (run *nodeRun) initFromX() {
 // recoverESR implements the ESR/ESRP recovery: determine the reconstruction
 // iteration, roll surviving nodes back to their starred copies, gather the
 // redundant search directions and the iterand halo at the replacement
-// nodes, and run the exact state reconstruction of Alg. 2.
-func (run *nodeRun) recoverESR(j int) int {
+// nodes, and run the exact state reconstruction of Alg. 2. It returns the
+// resume iteration and the recovery mode (RecoverySpare, or RecoveryRestart
+// when there is nothing to reconstruct from).
+func (run *nodeRun) recoverESR(j int, failed []int) (int, string) {
 	st := run.res.(*esrState)
-	failed := run.cfg.Failure.Ranks
 	flo, fhi := run.part.RangeOfParts(failed[0], failed[len(failed)-1]+1)
-	amFailed := run.amFailed()
+	amFailed := run.amFailed(failed)
 	t0 := run.nd.Clock()
 
 	if amFailed {
@@ -339,7 +376,7 @@ func (run *nodeRun) recoverESR(j int) int {
 
 	// The lowest surviving rank announces the reconstruction iteration and
 	// β* (the paper's "retrieve the redundant copy of β", Alg. 2 line 3).
-	root := run.lowestSurvivor()
+	root := run.lowestSurvivor(failed)
 	var hdr [3]float64
 	if run.nd.Rank() == root {
 		if st.t == 1 && j >= 1 {
@@ -363,7 +400,7 @@ func (run *nodeRun) recoverESR(j int) int {
 		}
 		run.initFromX()
 		run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
-		return j
+		return j, RecoveryRestart
 	}
 
 	// Gather the redundant copies p′^(jrec−1) and p′^(jrec) for the failed
@@ -373,6 +410,13 @@ func (run *nodeRun) recoverESR(j int) int {
 	pPrev := make([]float64, run.m)
 	pCur := make([]float64, run.m)
 	covered := make([]int, run.m) // bitmask: 1 = prev seen, 2 = cur seen
+	// Reconstruction scratch high-water mark: every node allocates the
+	// gather buffers, but only the failed (reconstructing) nodes run the
+	// inner solve and hold its working vectors.
+	run.notePeak(8 * int64(3*run.m /* pPrev, pCur, covered */))
+	if amFailed {
+		run.notePeak(8 * int64(3*run.m+7*run.m /* w + inner PCG vectors */))
+	}
 	for pass, tag := range []int{tagRecoverP0, tagRecoverP1} {
 		iter := jrec - 1 + pass
 		if !amFailed {
@@ -404,7 +448,34 @@ func (run *nodeRun) recoverESR(j int) int {
 			}
 		}
 	}
-	if amFailed {
+	if len(run.events) > 1 {
+		// Multi-event timelines can leave the gathered copies incomplete: a
+		// holder that itself failed earlier lost its queue, and the stage
+		// whose copies we need may predate its recovery. The nodes vote on
+		// coverage; on any gap the whole cluster degrades to a consistent
+		// local restart instead of reconstructing from partial data.
+		okLoc := 1.0
+		if amFailed {
+			for _, c := range covered {
+				if c != 3 {
+					okLoc = 0
+					break
+				}
+			}
+		}
+		if run.nd.AllreduceScalar(cluster.OpMin, okLoc) == 0 {
+			run.initFromX()
+			run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
+			// ESRP survivors were already rolled back to the starred state
+			// of iteration jrec before the vote, so resuming there keeps
+			// the counter consistent with the state and the discarded work
+			// [jrec, j) counted. ESR (t = 1) never rolled back: resume at j.
+			if st.t > 1 {
+				return jrec, RecoveryRestart
+			}
+			return j, RecoveryRestart
+		}
+	} else if amFailed {
 		for i, c := range covered {
 			if c != 3 {
 				panic(fmt.Sprintf("core: entry %d of failed node %d not covered by redundant copies (mask %d)",
@@ -482,7 +553,7 @@ func (run *nodeRun) recoverESR(j int) int {
 
 	run.restoreScalars(betaStar, st)
 	run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
-	return jrec
+	return jrec, RecoverySpare
 }
 
 // holdsEntriesOf reports whether this (surviving) node statically receives
@@ -508,7 +579,7 @@ func (run *nodeRun) holdsEntriesOf(fr int) bool {
 // protocol's sends and receives pair up one-to-one even when multiple failed
 // nodes have different holder sets.
 func (run *nodeRun) survivingHoldersOf(owner int, failed []int) []int {
-	mark := make([]bool, run.cfg.Nodes)
+	mark := make([]bool, run.nd.Size())
 	for _, t := range run.plan.Send[owner] {
 		mark[t.Peer] = true
 	}
@@ -546,17 +617,16 @@ func (run *nodeRun) restoreScalars(betaStar float64, st *esrState) {
 // recoverIMCR implements the checkpoint-restart recovery: replacements
 // retrieve their vectors from a surviving buddy, survivors roll back to
 // their local checkpoint copy.
-func (run *nodeRun) recoverIMCR(j int) int {
+func (run *nodeRun) recoverIMCR(j int, failed []int) (int, string) {
 	st := run.res.(*imcrState)
-	failed := run.cfg.Failure.Ranks
-	n := run.cfg.Nodes
-	amFailed := run.amFailed()
+	n := run.nd.Size()
+	amFailed := run.amFailed(failed)
 	t0 := run.nd.Clock()
 
 	if amFailed {
 		run.loseDynamicState()
 	}
-	root := run.lowestSurvivor()
+	root := run.lowestSurvivor(failed)
 	var hdr [2]float64
 	if run.nd.Rank() == root {
 		if st.ownIter >= 0 {
@@ -568,7 +638,7 @@ func (run *nodeRun) recoverIMCR(j int) int {
 	if !recoverable {
 		run.initFromX()
 		run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
-		return j
+		return j, RecoveryRestart
 	}
 
 	// For each failed node, its designated sender is the first surviving
@@ -597,6 +667,7 @@ func (run *nodeRun) recoverIMCR(j int) int {
 			if len(data) != 4*run.m {
 				panic(fmt.Sprintf("core: checkpoint size %d, want %d", len(data), 4*run.m))
 			}
+			run.notePeak(8 * int64(len(data))) // restore payload in flight
 			copy(run.x, data[0:run.m])
 			copy(run.r, data[run.m:2*run.m])
 			copy(run.z, data[2*run.m:3*run.m])
@@ -611,7 +682,22 @@ func (run *nodeRun) recoverIMCR(j int) int {
 		copy(run.z, st.ownData[2*run.m:3*run.m])
 		copy(run.p, st.ownData[3*run.m:4*run.m])
 	}
+	if run.pendingEvents() {
+		// More events may strike before the next checkpoint stage, and the
+		// nodes that just failed hold no checkpoints of their sources any
+		// more. Re-run the checkpoint exchange for the restored state so
+		// every buddy relationship is whole again — otherwise a follow-up
+		// failure whose surviving buddy is a just-recovered node would find
+		// nothing to restore from.
+		for _, b := range st.buddies {
+			run.nd.Send(b, tagCheckpoint, st.ownData)
+		}
+		for _, src := range st.sources {
+			st.held[src] = run.nd.Recv(src, tagCheckpoint)
+			st.heldIt[src] = jrec
+		}
+	}
 	run.restoreScalars(0, nil)
 	run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
-	return jrec
+	return jrec, RecoverySpare
 }

@@ -54,7 +54,7 @@ func Solve(cfg Config) (*Result, error) {
 			panic(err)
 		}
 		run.main(result)
-		nodeMem[nd.GlobalRank()] = run.stateBytes()
+		nodeMem[nd.GlobalRank()] = run.maxBytes()
 		nodeHalo[nd.GlobalRank()] = run.ex.HaloBytes()
 	})
 	if runErr != nil {
@@ -137,12 +137,22 @@ type nodeRun struct {
 
 	res resilience // strategy-specific redundant storage (nil for None)
 
+	// Failure timeline state. Every node advances it identically (the
+	// timeline is deterministic shared configuration), so no communication
+	// is needed to agree on what fires when.
+	events     []FailureSpec   // remaining-and-past events, cfg.Failures
+	nextEvent  int             // index of the next unfired event
+	sparesLeft int             // replacement nodes remaining (-1 = unlimited)
+	phi        int             // effective redundancy of the current cluster
+	eventLog   []RecoveryEvent // handled events, in order
+
 	recoveryTime float64
 	recoveredAt  int
 	wastedIters  int
 	recovered    bool
-	failurePend  bool // failure configured but not yet injected
-	retired      bool // no-spare mode: this node failed and dropped out
+	retired      bool // no-spare shrink: this node failed and dropped out
+
+	peakBytes int64 // transient recovery high-water mark (see notePeak)
 
 	residLog []float64
 }
@@ -168,7 +178,8 @@ func newNodeRun(cfg *Config, nd *cluster.Node, part *dist.Partition, plan *aspmv
 		x: make([]float64, hi-lo), r: make([]float64, hi-lo),
 		z: make([]float64, hi-lo), p: make([]float64, hi-lo),
 		q: make([]float64, hi-lo), pg: make([]float64, hi-lo+local.G()),
-		failurePend: cfg.Failure != nil,
+		events: cfg.Failures, phi: cfg.Phi,
+		sparesLeft: initialSpares(cfg),
 	}
 	switch cfg.Strategy {
 	case StrategyESR, StrategyESRP:
@@ -178,6 +189,30 @@ func newNodeRun(cfg *Config, nd *cluster.Node, part *dist.Partition, plan *aspmv
 	}
 	return run, nil
 }
+
+// initialSpares maps the config's pool knobs to the per-node counter:
+// NoSpareNodes is the empty pool, Spares == 0 the unlimited one.
+func initialSpares(cfg *Config) int {
+	if cfg.NoSpareNodes {
+		return 0
+	}
+	if cfg.Spares == 0 {
+		return -1
+	}
+	return cfg.Spares
+}
+
+// dueEvent returns the timeline event firing at iteration j, or nil. It does
+// not advance the cursor; handleFailure does once the event is processed.
+func (run *nodeRun) dueEvent(j int) *FailureSpec {
+	if run.nextEvent < len(run.events) && run.events[run.nextEvent].Iteration == j {
+		return &run.events[run.nextEvent]
+	}
+	return nil
+}
+
+// pendingEvents reports whether unfired events remain on the timeline.
+func (run *nodeRun) pendingEvents() bool { return run.nextEvent < len(run.events) }
 
 // spmv computes q = (A·p) on the local rows via the compact halo exchange.
 // Unless cfg.BlockingExchange, the interior-rows product runs between the
@@ -288,18 +323,21 @@ func (run *nodeRun) main(result *Result) {
 		// Failure injection point: immediately after the SpMV communication
 		// of the marked iteration, as in the paper's framework, so that the
 		// redundant copies of this iteration (if it is a storage iteration)
-		// have been pushed.
-		if run.failurePend && j == cfg.Failure.Iteration {
-			run.failurePend = false
-			jrec := run.recoverFromFailure(j)
+		// have been pushed. Events fire in timeline order; strictly
+		// ascending iterations guarantee each fires at most once even
+		// across rollbacks.
+		if ev := run.dueEvent(j); ev != nil {
+			jrec, mode := run.handleFailure(j, ev)
 			if run.retired {
-				return // no-spare mode: this node is gone
+				return // no-spare shrink: this node is gone
 			}
-			run.wastedIters = j - jrec
-			run.recoveredAt = jrec
-			run.recovered = true
-			j = jrec
-			continue
+			if mode != RecoverySkipped {
+				run.wastedIters += j - jrec
+				run.recoveredAt = jrec
+				run.recovered = true
+				j = jrec
+				continue
+			}
 		}
 
 		// α = r·z / p·(A p)
@@ -370,13 +408,13 @@ func (run *nodeRun) main(result *Result) {
 		result.Drift = drift
 		result.Residuals = run.residLog
 		result.ActiveNodes = run.nd.Size()
+		result.Events = run.eventLog
 	}
 }
 
 // stateBytes returns this node's steady-state dynamic solver footprint in
 // bytes: the local vector blocks, the owned+ghost SpMV buffer, and the
-// strategy's redundant storage, sampled at the end of the solve (transient
-// recovery scratch is not captured). Static shared data (matrix, plan,
+// strategy's redundant storage. Static shared data (matrix, plan,
 // preconditioner) stands in for node-local files reloaded from safe storage
 // and is excluded, as in the paper's measurement.
 func (run *nodeRun) stateBytes() int64 {
@@ -385,6 +423,23 @@ func (run *nodeRun) stateBytes() int64 {
 		b += run.res.stateBytes()
 	}
 	return b
+}
+
+// notePeak samples a transient recovery high-water mark: the steady state
+// plus extra bytes of live recovery scratch (reconstruction gathers, adopter
+// repartitioning buffers, checkpoint payloads in flight). Result.MaxNodeBytes
+// reports the larger of the end-of-solve steady state and this peak, so the
+// memory figure stays honest across recovery-heavy scenarios.
+func (run *nodeRun) notePeak(extra int64) {
+	if b := run.stateBytes() + extra; b > run.peakBytes {
+		run.peakBytes = b
+	}
+}
+
+// maxBytes is the footprint reported per node: steady state or recovery
+// peak, whichever is larger.
+func (run *nodeRun) maxBytes() int64 {
+	return max(run.stateBytes(), run.peakBytes)
 }
 
 // residualDrift evaluates Eq. 2 of the paper after convergence:

@@ -90,6 +90,16 @@ type Spec struct {
 	// dist.NewBalancedWeightPartition); the report then carries the quality
 	// of the balanced layout.
 	BalanceNNZ bool
+
+	// Timeline adds one multi-failure scenario run beyond the paper's
+	// single-event constellation: the event list (e.g. compiled by
+	// internal/faultsim) is injected into one ESRP/ESR solve and the
+	// per-event recovery records land in Report.Scenario. Spares bounds the
+	// replacement pool for that run (0 = unlimited); once exhausted,
+	// recovery falls back to the no-spare shrink and the report shows the
+	// cluster getting smaller.
+	Timeline []core.FailureSpec
+	Spares   int
 }
 
 func (s Spec) withDefaults() (Spec, error) {
@@ -194,6 +204,28 @@ type Report struct {
 
 	ESRP []Cell // sorted by (T, φ); T = 1 entries are plain ESR
 	IMCR []Cell // sorted by (T, φ); no T = 1 entry
+
+	// Scenario is the multi-failure scenario run (Spec.Timeline), nil when
+	// no timeline was configured.
+	Scenario *ScenarioCell
+}
+
+// ScenarioCell is the measured multi-failure scenario run: one solve under
+// the whole event timeline, with the per-event recovery records.
+type ScenarioCell struct {
+	Strategy core.Strategy
+	T        int
+	Phi      int
+	Spares   int
+
+	Time        float64 // simulated runtime including all recoveries
+	Overhead    float64 // (Time − t0)/t0
+	Converged   bool
+	WastedIters int
+	Drift       float64
+	ActiveNodes int // nodes still iterating at the end (< N after shrinks)
+
+	Events []core.RecoveryEvent // one record per handled failure event
 }
 
 // FailureIteration returns the paper's injection point for interval T: two
@@ -257,7 +289,45 @@ func Run(spec Spec) (*Report, error) {
 			rep.IMCR = append(rep.IMCR, *cell)
 		}
 	}
+	if len(spec.Timeline) > 0 {
+		if rep.Scenario, err = runScenario(spec, rep); err != nil {
+			return nil, fmt.Errorf("harness: scenario run: %w", err)
+		}
+	}
 	return rep, nil
+}
+
+// runScenario executes the multi-failure timeline once, on the spec's first
+// interval/redundancy setting (ESR when that interval is ≤ 2, ESRP
+// otherwise), with the configured spare pool. ψ beyond φ is the caller's
+// responsibility, exactly as for core.Config.
+func runScenario(spec Spec, rep *Report) (*ScenarioCell, error) {
+	t := spec.Ts[0]
+	phi := spec.Phis[0]
+	strat := esrpConfig(t)
+	if strat == core.StrategyESR {
+		t = 1 // the solve forces T = 1 for ESR; report the interval actually used
+	}
+	cfg := spec.config(core.Config{Strategy: strat, T: t, Phi: phi})
+	cfg.Failures = spec.Timeline
+	cfg.Spares = spec.Spares
+	res, err := core.Solve(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ScenarioCell{
+		Strategy:    strat,
+		T:           t,
+		Phi:         phi,
+		Spares:      spec.Spares,
+		Time:        res.SimTime,
+		Overhead:    overhead(res.SimTime, rep.RefTime),
+		Converged:   res.Converged,
+		WastedIters: res.WastedIters,
+		Drift:       res.Drift,
+		ActiveNodes: res.ActiveNodes,
+		Events:      res.Events,
+	}, nil
 }
 
 // esrpConfig maps a checkpoint interval to the strategy the paper would use:

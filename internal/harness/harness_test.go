@@ -276,3 +276,75 @@ func TestRunBalancedSpec(t *testing.T) {
 		}
 	}
 }
+
+// A multi-failure timeline on a spare pool that exhausts mid-run: the
+// scenario cell records every recovery and the summary renders them.
+func TestScenarioTimelineInReport(t *testing.T) {
+	spec := Spec{
+		Name:   "poisson2d-32x32",
+		Matrix: matgen.Poisson2D(32, 32),
+		Nodes:  8,
+		Ts:     []int{1}, // scenario runs plain ESR
+		Phis:   []int{1},
+		Spares: 1,
+		Timeline: []core.FailureSpec{
+			{Iteration: 15, Ranks: []int{2}},
+			{Iteration: 35, Ranks: []int{5}},
+			{Iteration: 55, Ranks: []int{1}},
+		},
+	}
+	rep, err := Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	sc := rep.Scenario
+	if sc == nil {
+		t.Fatal("timeline configured but Report.Scenario is nil")
+	}
+	if !sc.Converged {
+		t.Fatal("scenario run did not converge")
+	}
+	if len(sc.Events) != 3 {
+		t.Fatalf("scenario recorded %d events, want 3", len(sc.Events))
+	}
+	if sc.Events[0].Mode != core.RecoverySpare {
+		t.Errorf("event 0 mode %q, want spare (pool of 1)", sc.Events[0].Mode)
+	}
+	for _, ev := range sc.Events[1:] {
+		if ev.Mode != core.RecoveryShrink {
+			t.Errorf("post-exhaustion event mode %q, want shrink", ev.Mode)
+		}
+	}
+	if sc.ActiveNodes != 6 {
+		t.Errorf("scenario finished on %d nodes, want 6", sc.ActiveNodes)
+	}
+	if sc.Overhead <= 0 {
+		t.Errorf("scenario overhead %g, want > 0 (three recoveries cost time)", sc.Overhead)
+	}
+
+	sum := Summary(rep)
+	if !strings.Contains(sum, "scenario") || !strings.Contains(sum, "shrink recovery") {
+		t.Fatalf("summary does not render the scenario events:\n%s", sum)
+	}
+	if !strings.Contains(sum, "cluster shrank to 6 of 8 nodes") {
+		t.Fatalf("summary does not render the shrink:\n%s", sum)
+	}
+}
+
+// Without a timeline the scenario cell stays nil and the summary is
+// unchanged.
+func TestNoTimelineNoScenario(t *testing.T) {
+	spec := smallSpec()
+	spec.Ts = []int{1}
+	spec.Phis = []int{1}
+	rep, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenario != nil {
+		t.Fatal("no timeline configured but Report.Scenario is set")
+	}
+	if strings.Contains(Summary(rep), "scenario") {
+		t.Fatal("summary mentions a scenario without one configured")
+	}
+}

@@ -218,6 +218,33 @@ func Summary(r *Report) string {
 				t, c.Phi, 100*c.FFOverhead, 100*medianFailOverhead(c))
 		}
 	}
+	if r.Scenario != nil {
+		b.WriteString(RenderScenario(r.Scenario, r.Spec.Nodes))
+	}
+	return b.String()
+}
+
+// RenderScenario prints the multi-failure scenario run: the headline line
+// plus one line per recovery event, so the whole failure process is visible
+// in the report.
+func RenderScenario(s *ScenarioCell, nodes int) string {
+	var b strings.Builder
+	status := "converged"
+	if !s.Converged {
+		status = "DID NOT CONVERGE"
+	}
+	pool := "unlimited spares"
+	if s.Spares > 0 {
+		pool = fmt.Sprintf("%d spares", s.Spares)
+	}
+	fmt.Fprintf(&b, "  scenario (%v T=%d φ=%d, %s): %d failure events, %s, overhead %6.2f%%, %d iterations wasted\n",
+		s.Strategy, s.T, s.Phi, pool, len(s.Events), status, 100*s.Overhead, s.WastedIters)
+	for i, ev := range s.Events {
+		fmt.Fprintf(&b, "    event %d: %s\n", i, ev)
+	}
+	if s.ActiveNodes < nodes {
+		fmt.Fprintf(&b, "    cluster shrank to %d of %d nodes\n", s.ActiveNodes, nodes)
+	}
 	return b.String()
 }
 
