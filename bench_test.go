@@ -12,6 +12,7 @@ package esrp_test
 
 import (
 	"testing"
+	"time"
 
 	"esrp"
 	"esrp/internal/aspmv"
@@ -482,6 +483,68 @@ func BenchmarkAblationResidualReplacement(b *testing.B) {
 			b.ReportMetric(sim, "simsec/solve")
 			b.ReportMetric(drift, "drift")
 		})
+	}
+}
+
+// BenchmarkHostSolve measures the host-side cost of the simulator itself —
+// wall-clock ns/op and allocs/op of one fixed-length solve — the figure the
+// zero-allocation hot path optimizes. Fixed MaxIter + unreachable Rtol makes
+// the run length independent of convergence, so the metric is a pure
+// data-path cost. BENCH_PR4.json records these numbers run over run.
+func BenchmarkHostSolve(b *testing.B) {
+	a := benchEmilia()
+	rhs := esrp.RHSOnes(a.Rows)
+	for _, sub := range []struct {
+		name string
+		cfg  esrp.Config
+	}{
+		{"none", esrp.Config{A: a, B: rhs, Nodes: benchNodes, MaxIter: 60, Rtol: 1e-30}},
+		{"esr", esrp.Config{A: a, B: rhs, Nodes: benchNodes, MaxIter: 60, Rtol: 1e-30,
+			Strategy: esrp.StrategyESR, Phi: 1}},
+		{"esrp-T20", esrp.Config{A: a, B: rhs, Nodes: benchNodes, MaxIter: 60, Rtol: 1e-30,
+			Strategy: esrp.StrategyESRP, T: 20, Phi: 1}},
+		{"imcr-T20", esrp.Config{A: a, B: rhs, Nodes: benchNodes, MaxIter: 60, Rtol: 1e-30,
+			Strategy: esrp.StrategyIMCR, T: 20, Phi: 1}},
+	} {
+		b.Run(sub.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := esrp.Solve(sub.cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCampaignSweep measures the experiment-sweep engine's host
+// throughput in cells/sec on the CI smoke grid shape (2 strategies × 2
+// intervals × 2 seeds under a Poisson failure process). This is the number
+// the campaign-cell reuse (shared matrix/partition/plan, worker-local solver
+// arenas) multiplies.
+func BenchmarkCampaignSweep(b *testing.B) {
+	a := esrp.Poisson2D(32, 32)
+	grid := esrp.CampaignGrid{
+		Matrices:   []esrp.CampaignMatrix{{Name: "poisson2d-32", A: a}},
+		Nodes:      []int{8},
+		Strategies: []esrp.Strategy{esrp.StrategyESRP, esrp.StrategyIMCR},
+		Ts:         []int{10, 20},
+		Phis:       []int{1},
+		Seeds:      []int64{1, 2},
+		Scenario:   esrp.FailureScenario{Model: esrp.ScenarioExponential, MTBF: 500, Horizon: 80},
+	}
+	b.ReportAllocs()
+	var cells int
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		rep, err := esrp.RunCampaign(grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells += len(rep.Cells)
+	}
+	if sec := time.Since(start).Seconds(); sec > 0 {
+		b.ReportMetric(float64(cells)/sec, "cells/sec")
 	}
 }
 

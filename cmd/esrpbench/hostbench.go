@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"esrp"
+)
+
+// HostMetric is one host-side performance measurement: wall-clock and
+// allocation cost per operation, plus sweep throughput for the campaign
+// row. These are the numbers the zero-allocation hot path optimizes — the
+// simulated (LogGP) figures in the same exports are bitwise invariant.
+type HostMetric struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	CellsPerSec float64 `json:"cells_per_sec,omitempty"` // campaign rows only
+}
+
+// HostBenchReport is the BENCH_PR4.json schema: the current tree's numbers
+// ("optimized") next to a reference tree's ("baseline", carried over from a
+// previous export via -host-baseline), starting the host-side performance
+// trajectory.
+type HostBenchReport struct {
+	GoVersion  string       `json:"go_version"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Note       string       `json:"note,omitempty"`
+	Baseline   []HostMetric `json:"baseline,omitempty"`
+	Optimized  []HostMetric `json:"optimized"`
+}
+
+// hostBenchCases mirrors bench_test.go's BenchmarkHostSolve fixtures: the
+// reduced-scale Emilia analog, 16 nodes, fixed 60 iterations (unreachable
+// tolerance) so the measured cost is the pure data path.
+func hostBenchCases() []struct {
+	name string
+	cfg  esrp.Config
+} {
+	a := esrp.EmiliaLike(16, 16, 16, 923)
+	rhs := esrp.RHSOnes(a.Rows)
+	fixed := esrp.Config{A: a, B: rhs, Nodes: 16, MaxIter: 60, Rtol: 1e-30}
+	esr, esrpT20, imcr := fixed, fixed, fixed
+	esr.Strategy, esr.Phi = esrp.StrategyESR, 1
+	esrpT20.Strategy, esrpT20.T, esrpT20.Phi = esrp.StrategyESRP, 20, 1
+	imcr.Strategy, imcr.T, imcr.Phi = esrp.StrategyIMCR, 20, 1
+	return []struct {
+		name string
+		cfg  esrp.Config
+	}{
+		{"solve/none", fixed},
+		{"solve/esr", esr},
+		{"solve/esrp-T20", esrpT20},
+		{"solve/imcr-T20", imcr},
+	}
+}
+
+// runHostBench measures the host-side suite with testing.Benchmark and
+// returns the metric rows (solve cases plus the campaign sweep).
+func runHostBench() []HostMetric {
+	var out []HostMetric
+	for _, c := range hostBenchCases() {
+		cfg := c.cfg
+		fmt.Fprintf(os.Stderr, "esrpbench: hostbench %s...\n", c.name)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := esrp.Solve(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out = append(out, HostMetric{
+			Name: c.name, NsPerOp: r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+		})
+	}
+
+	// Campaign sweep throughput: the CI smoke grid shape under a Poisson
+	// failure process (identical to bench_test.go's BenchmarkCampaignSweep).
+	grid := esrp.CampaignGrid{
+		Matrices:   []esrp.CampaignMatrix{{Name: "poisson2d-32", A: esrp.Poisson2D(32, 32)}},
+		Nodes:      []int{8},
+		Strategies: []esrp.Strategy{esrp.StrategyESRP, esrp.StrategyIMCR},
+		Ts:         []int{10, 20},
+		Phis:       []int{1},
+		Seeds:      []int64{1, 2},
+		Scenario:   esrp.FailureScenario{Model: esrp.ScenarioExponential, MTBF: 500, Horizon: 80},
+	}
+	fmt.Fprintln(os.Stderr, "esrpbench: hostbench campaign sweep...")
+	cells := 0
+	start := time.Now()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep, err := esrp.RunCampaign(grid)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cells += len(rep.Cells)
+		}
+	})
+	elapsed := time.Since(start).Seconds()
+	m := HostMetric{
+		Name: "campaign/smoke-grid", NsPerOp: r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+	}
+	if elapsed > 0 {
+		m.CellsPerSec = float64(cells) / elapsed
+	}
+	out = append(out, m)
+	return out
+}
+
+// writeHostBench runs the suite and writes BENCH_PR4.json into dir. When
+// baselinePath names a previous export, its "optimized" rows become this
+// export's "baseline" — so each perf PR chains onto the last one's numbers.
+func writeHostBench(dir, baselinePath, note string) (string, error) {
+	rep := HostBenchReport{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Note:       note,
+		Optimized:  runHostBench(),
+	}
+	if baselinePath != "" {
+		data, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return "", fmt.Errorf("reading baseline: %w", err)
+		}
+		var base HostBenchReport
+		if err := json.Unmarshal(data, &base); err != nil {
+			return "", fmt.Errorf("parsing baseline: %w", err)
+		}
+		rep.Baseline = base.Optimized
+	}
+	path := filepath.Join(dir, "BENCH_PR4.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}

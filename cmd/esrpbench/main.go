@@ -32,11 +32,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"esrp"
+	"esrp/internal/profiling"
 )
 
 func main() {
@@ -52,8 +54,38 @@ func main() {
 		reps    = flag.Int("reps", 1, "repetitions per setting (median reported)")
 		rtol    = flag.Float64("rtol", 1e-8, "outer relative tolerance")
 		jsonDir = flag.String("json-dir", ".", "directory for the BENCH_<name>.json exports (\"\" = disabled)")
+
+		hostbench    = flag.Bool("hostbench", false, "measure host-side performance (ns/op, allocs/op, campaign cells/sec) and write BENCH_PR4.json to -json-dir")
+		hostBaseline = flag.String("host-baseline", "", "previous BENCH_PR4.json whose optimized rows become this export's baseline")
+		hostNote     = flag.String("host-note", "", "free-form note recorded in the BENCH_PR4.json export")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	stopProfile = stop // fatalf finishes the profiles before os.Exit
+	defer func() {
+		if err := stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "esrpbench: %v\n", err)
+		}
+	}()
+
+	if *hostbench {
+		if *jsonDir == "" {
+			fatalf("-hostbench writes BENCH_PR4.json and needs a -json-dir (got the disabled value \"\")")
+		}
+		path, err := writeHostBench(*jsonDir, *hostBaseline, *hostNote)
+		if err != nil {
+			fatalf("hostbench: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "esrpbench: wrote %s\n", path)
+		return
+	}
 
 	if !*all && *table == 0 && *fig == 0 {
 		flag.Usage()
@@ -158,6 +190,8 @@ func (g generator) audikw() *esrp.CSR {
 func (g generator) run(name string, a *esrp.CSR) *esrp.ExperimentReport {
 	fmt.Fprintf(os.Stderr, "esrpbench: running %s constellation (%d rows, %d nnz, %d nodes)...\n",
 		name, a.Rows, a.NNZ(), g.nodes)
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	rep, err := esrp.RunExperiment(esrp.ExperimentSpec{
 		Name:   name,
@@ -168,13 +202,16 @@ func (g generator) run(name string, a *esrp.CSR) *esrp.ExperimentReport {
 		Reps:   g.reps,
 		Rtol:   g.rtol,
 	})
+	hostNs := time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&m1)
 	if err != nil {
 		fatalf("%s constellation: %v", name, err)
 	}
+	hostAllocs := int64(m1.Mallocs - m0.Mallocs)
 	fmt.Fprintf(os.Stderr, "esrpbench: %s done in %v (reference: %d iterations, %.4g s simulated)\n",
 		name, time.Since(start).Round(time.Millisecond), rep.RefIters, rep.RefTime)
 	if g.jsonDir != "" {
-		if path, err := writeBenchJSON(g.jsonDir, name, g, a, rep); err != nil {
+		if path, err := writeBenchJSON(g.jsonDir, name, g, a, rep, hostNs, hostAllocs); err != nil {
 			fmt.Fprintf(os.Stderr, "esrpbench: writing %s results: %v\n", name, err)
 		} else {
 			fmt.Fprintf(os.Stderr, "esrpbench: wrote %s\n", path)
@@ -209,16 +246,24 @@ type benchJSON struct {
 	RefMaxNodeBytes int64   `json:"ref_max_node_bytes"`
 	RefHaloBytes    int64   `json:"ref_halo_bytes"`
 
+	// Host-side cost of regenerating the whole constellation: wall-clock
+	// nanoseconds and heap allocations. Unlike the simulated figures above,
+	// these change with engine optimizations.
+	HostWallNs int64 `json:"host_wall_ns"`
+	HostAllocs int64 `json:"host_allocs"`
+
 	Cells []benchCell `json:"cells"`
 }
 
 // writeBenchJSON exports one constellation's headline numbers so the perf
-// trajectory (simulated time, traffic, memory) is tracked run over run.
-func writeBenchJSON(dir, name string, g generator, a *esrp.CSR, rep *esrp.ExperimentReport) (string, error) {
+// trajectory (simulated time, traffic, memory, host-side cost) is tracked
+// run over run.
+func writeBenchJSON(dir, name string, g generator, a *esrp.CSR, rep *esrp.ExperimentReport, hostNs, hostAllocs int64) (string, error) {
 	out := benchJSON{
 		Name: name, Rows: a.Rows, NNZ: a.NNZ(), Nodes: g.nodes, Scale: g.scale,
 		RefSimTime: rep.RefTime, RefIterations: rep.RefIters,
 		RefMaxNodeBytes: rep.RefMaxNodeBytes, RefHaloBytes: rep.RefHaloBytes,
+		HostWallNs: hostNs, HostAllocs: hostAllocs,
 	}
 	add := func(label string, cells []esrp.ExperimentCell) {
 		for _, c := range cells {
@@ -289,7 +334,17 @@ func parseInts(csv string) ([]int, error) {
 	return out, nil
 }
 
+// stopProfile finishes any active -cpuprofile/-memprofile capture; fatalf
+// calls it so error exits (os.Exit skips defers) still produce readable
+// profiles — the failing runs are the ones worth profiling.
+var stopProfile func() error
+
 func fatalf(format string, args ...any) {
+	if stopProfile != nil {
+		if err := stopProfile(); err != nil {
+			fmt.Fprintf(os.Stderr, "esrpbench: %v\n", err)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "esrpbench: "+format+"\n", args...)
 	os.Exit(1)
 }

@@ -50,7 +50,7 @@ func TestWriteBenchJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := generator{nodes: 6, scale: 1, jsonDir: dir}
-	path, err := writeBenchJSON(dir, "tiny", g, a, rep)
+	path, err := writeBenchJSON(dir, "tiny", g, a, rep, 12345, 678)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -29,6 +29,7 @@ import (
 
 	"esrp"
 	"esrp/internal/faultsim"
+	"esrp/internal/profiling"
 )
 
 func main() {
@@ -61,8 +62,22 @@ func main() {
 		jsonPath = flag.String("json", "-", "JSON output path (- = stdout)")
 		csvPath  = flag.String("csv", "", "optional CSV output path (one row per cell)")
 		quiet    = flag.Bool("q", false, "suppress the aggregate table and summary on stderr")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	stopProfile = stop // fatalf finishes the profiles before os.Exit
+	defer func() {
+		if err := stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "esrpcampaign: %v\n", err)
+		}
+	}()
 
 	grid, err := buildGrid(gridFlags{
 		gens: *gens, n: *n, seed: *seed,
@@ -255,7 +270,17 @@ func parseInts(csv string) ([]int, error) {
 	return out, nil
 }
 
+// stopProfile finishes any active -cpuprofile/-memprofile capture; fatalf
+// calls it so error exits (os.Exit skips defers) still produce readable
+// profiles.
+var stopProfile func() error
+
 func fatalf(format string, args ...any) {
+	if stopProfile != nil {
+		if err := stopProfile(); err != nil {
+			fmt.Fprintf(os.Stderr, "esrpcampaign: %v\n", err)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "esrpcampaign: "+format+"\n", args...)
 	os.Exit(1)
 }

@@ -145,6 +145,22 @@ func PartitionFromOffsets(offsets []int) (*Partition, error) {
 // Solve runs one configured PCG solve on the simulated cluster.
 func Solve(cfg Config) (*Result, error) { return core.Solve(cfg) }
 
+// Prepared is a reusable read-only solve context (partition, communication
+// plan, local matrices, preconditioners). Build it once with Prepare and
+// pass it via Config.Prepared to amortize setup across repeated solves with
+// identical settings — the campaign engine does this per grid automatically.
+type Prepared = core.Prepared
+
+// SolveWorkspace recycles per-rank solver vector buffers between
+// consecutive solves (Config.Workspace). Not safe for concurrent solves.
+type SolveWorkspace = core.Workspace
+
+// Prepare builds the shared solve context for cfg.
+func Prepare(cfg Config) (*Prepared, error) { return core.Prepare(cfg) }
+
+// NewSolveWorkspace returns an empty solver-buffer workspace.
+func NewSolveWorkspace() *SolveWorkspace { return core.NewWorkspace() }
+
 // SolvePipelined runs the communication-hiding pipelined PCG variant
 // (Ghysels & Vanroose; the solver the paper's related work [16] extends ESR
 // to). It fuses the iteration's dot products into a single allreduce, which

@@ -225,6 +225,7 @@ func (ex *Exchanger) Finish(nd *cluster.Node, ghost []float64) {
 	for ti := range ex.reqs {
 		vals := ex.reqs[ti].Wait()
 		copy(ghost[v.recvOff[ti]:], vals)
+		nd.Release(vals) // scattered: recycle the payload buffer
 	}
 	ex.inFlight = false
 }
@@ -250,6 +251,7 @@ func (ex *Exchanger) FinishAugmented(nd *cluster.Node, ghost []float64, iter int
 		for k, pos := range v.copyPos[ti] {
 			val[pos] = vals[k]
 		}
+		nd.Release(vals) // scattered into ghost + val: recycle
 	}
 	ex.inFlight = false
 	return ReceivedCopy{Iter: iter, Idx: v.copyIdx, Val: val}

@@ -18,7 +18,7 @@ func NewQueue(depth int) *Queue {
 	if depth < 1 {
 		panic(fmt.Sprintf("aspmv: queue depth must be ≥ 1, got %d", depth))
 	}
-	return &Queue{depth: depth}
+	return &Queue{depth: depth, slots: make([]ReceivedCopy, 0, depth)}
 }
 
 // Depth returns the queue capacity.

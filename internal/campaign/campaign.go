@@ -272,16 +272,28 @@ func Run(g Grid) (*Report, error) {
 		matrices[m.Name] = m
 	}
 
+	// Build each distinct solve context (partition, plan, local matrices,
+	// preconditioners) exactly once, before the pool starts: many cells
+	// differ only in T, seed or strategy-within-augmentation and share the
+	// same read-only context, so the per-cell setup collapses to a map
+	// lookup. A context that fails to prepare stays nil and the cell falls
+	// back to the old per-cell path (surfacing the same error).
+	preps := g.prepareContexts(cells, matrices)
+
 	// Solve the cells on a bounded worker pool. Results land at their cell
-	// index, so the report order is independent of scheduling.
+	// index, so the report order is independent of scheduling. Each worker
+	// owns one Workspace: consecutive cells on the same worker reuse the
+	// solver's vector buffers instead of re-allocating them.
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < g.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ws := core.NewWorkspace()
 			for i := range jobs {
-				g.runCell(&cells[i], matrices[cells[i].Matrix])
+				c := &cells[i]
+				g.runCell(c, matrices[c.Matrix], preps[prepKeyOf(c)], ws)
 			}
 		}()
 	}
@@ -300,9 +312,90 @@ func Run(g Grid) (*Report, error) {
 	}, nil
 }
 
+// prepKey identifies the solve context a cell needs: everything that shapes
+// the partition/plan/local-matrix setup. T, seed and the IMCR-vs-None
+// distinction don't: they only affect the dynamic solve.
+type prepKey struct {
+	Matrix string
+	Nodes  int
+	Phi    int // plan augmentation level (0 = plain product)
+}
+
+func prepKeyOf(c *Cell) prepKey {
+	phi := 0
+	if strat, err := core.ParseStrategy(c.Strategy); err == nil &&
+		(strat == core.StrategyESR || strat == core.StrategyESRP) {
+		phi = c.Phi
+		if phi <= 0 {
+			phi = 1 // mirror core's withDefaults: redundant strategies get φ ≥ 1
+		}
+	}
+	return prepKey{Matrix: c.Matrix, Nodes: c.Nodes, Phi: phi}
+}
+
+// prepareContexts builds the distinct Prepared contexts of the grid, keyed
+// by prepKey. The distinct keys are enumerated in deterministic cell order,
+// then built concurrently across the worker budget — contexts are
+// independent, and per-rank preconditioner factorization is the expensive
+// part of a wide grid's setup.
+func (g Grid) prepareContexts(cells []Cell, matrices map[string]MatrixSpec) map[prepKey]*core.Prepared {
+	preps := make(map[prepKey]*core.Prepared)
+	var order []prepKey
+	for i := range cells {
+		key := prepKeyOf(&cells[i])
+		if _, ok := preps[key]; !ok {
+			preps[key] = nil
+			order = append(order, key)
+		}
+	}
+	firstCell := make(map[prepKey]*Cell, len(order))
+	for i := range cells {
+		key := prepKeyOf(&cells[i])
+		if firstCell[key] == nil {
+			firstCell[key] = &cells[i]
+		}
+	}
+
+	var mu sync.Mutex
+	jobs := make(chan prepKey)
+	var wg sync.WaitGroup
+	for w := 0; w < min(g.Workers, len(order)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for key := range jobs {
+				c := firstCell[key]
+				strat, err := core.ParseStrategy(c.Strategy)
+				if err != nil {
+					continue // the cell's own solve reports the error
+				}
+				m := matrices[c.Matrix]
+				prep, err := core.Prepare(core.Config{
+					A: m.A, B: m.B, Nodes: c.Nodes,
+					Strategy: strat, T: c.T, Phi: c.Phi,
+					Rtol: g.Rtol, MaxIter: g.MaxIter,
+					PrecondKind: g.Precond, MaxBlock: g.MaxBlock,
+				})
+				if err != nil {
+					prep = nil // cells fall back to per-cell setup and surface the error
+				}
+				mu.Lock()
+				preps[key] = prep
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, key := range order {
+		jobs <- key
+	}
+	close(jobs)
+	wg.Wait()
+	return preps
+}
+
 // runCell compiles the cell's scenario, solves it, and condenses the result
 // in place.
-func (g Grid) runCell(c *Cell, m MatrixSpec) {
+func (g Grid) runCell(c *Cell, m MatrixSpec, prep *core.Prepared, ws *core.Workspace) {
 	strat, err := core.ParseStrategy(c.Strategy)
 	if err != nil {
 		c.Err = err.Error()
@@ -342,6 +435,8 @@ func (g Grid) runCell(c *Cell, m MatrixSpec) {
 		PrecondKind: g.Precond, MaxBlock: g.MaxBlock,
 		CostModel: g.CostModel,
 		Failures:  events,
+		Prepared:  prep,
+		Workspace: ws,
 	}
 	if strat == core.StrategyESR || strat == core.StrategyESRP {
 		cfg.Spares = g.Spares

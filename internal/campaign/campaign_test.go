@@ -209,3 +209,25 @@ func TestGridValidation(t *testing.T) {
 		t.Error("empty cross-product accepted")
 	}
 }
+
+// TestDefaultedPhiSharesContexts pins the prepKey normalization: a grid
+// with Phi = 0 cells (core defaults redundant strategies to φ = 1) must not
+// collide augmenting (ESRP) and plain-plan (IMCR) cells on one prepared
+// context — pre-fix, every IMCR cell errored with a Prepared augmentation
+// mismatch.
+func TestDefaultedPhiSharesContexts(t *testing.T) {
+	g := tinyGrid()
+	g.Phis = []int{0}
+	rep, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Cells {
+		if c.Err != "" {
+			t.Fatalf("cell %s/T%d/phi%d/seed%d failed: %s", c.Strategy, c.T, c.Phi, c.Seed, c.Err)
+		}
+		if !c.Converged {
+			t.Fatalf("cell %s/T%d/phi%d/seed%d did not converge", c.Strategy, c.T, c.Phi, c.Seed)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"testing"
+)
+
+// TestAllreduceSteadyStateZeroAlloc gates the collective arena: after the
+// warm-up calls have sized the slot banks, Allreduce/AllreduceScalar/Barrier
+// must not touch the heap. Rank 0 reads the global malloc counter while the
+// other nodes are parked at a barrier (blocked in the arena's cond wait,
+// which does not allocate), so the measurement window covers exactly the
+// steady-state collectives of all nodes.
+func TestAllreduceSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; gate runs in the non-race job")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	const n = 8
+	c := New(n, testModel())
+	var allocs uint64
+	err := c.Run(func(nd *Node) {
+		x := []float64{1, 2, 3}
+		for i := 0; i < 16; i++ { // warm the slot banks and scheduler
+			nd.Allreduce(OpSum, x)
+			nd.Barrier()
+		}
+		var m1, m2 runtime.MemStats
+		nd.Barrier()
+		if nd.Rank() == 0 {
+			runtime.ReadMemStats(&m1)
+		}
+		nd.Barrier()
+		for i := 0; i < 400; i++ {
+			nd.Allreduce(OpSum, x)
+			nd.AllreduceScalar(OpMax, float64(i))
+			nd.Barrier()
+		}
+		nd.Barrier()
+		if nd.Rank() == 0 {
+			runtime.ReadMemStats(&m2)
+			allocs = m2.Mallocs - m1.Mallocs
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1200 collectives across 8 nodes. The arena itself must stay off the
+	// heap; a small constant (≤ 2 per goroutine) is tolerated for runtime
+	// internals (sudog cache fills when a goroutine first parks inside the
+	// window) — any real per-call allocation would show up 400-fold.
+	if allocs > 2*n {
+		t.Fatalf("steady-state collectives allocated %d times over 1200 calls (want ≤ %d runtime-internal)", allocs, 2*n)
+	}
+}
+
+// TestP2PSteadyStateZeroAlloc gates the point-to-point free list: once the
+// receiver recycles payload buffers with Release, a steady Send/Recv stream
+// must not allocate.
+func TestP2PSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; gate runs in the non-race job")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	c := New(2, testModel())
+	var allocs uint64
+	err := c.Run(func(nd *Node) {
+		payload := make([]float64, 32)
+		exchange := func() {
+			if nd.Rank() == 0 {
+				nd.Send(1, 7, payload)
+			} else {
+				nd.Release(nd.Recv(0, 7))
+			}
+		}
+		for i := 0; i < 16; i++ { // warm the destination's free list
+			exchange()
+			nd.Barrier()
+		}
+		var m1, m2 runtime.MemStats
+		nd.Barrier()
+		if nd.Rank() == 0 {
+			runtime.ReadMemStats(&m1)
+		}
+		nd.Barrier()
+		for i := 0; i < 400; i++ {
+			exchange()
+			nd.Barrier() // bound sender run-ahead: in-flight stays ≤ 1 buffer
+		}
+		nd.Barrier()
+		if nd.Rank() == 0 {
+			runtime.ReadMemStats(&m2)
+			allocs = m2.Mallocs - m1.Mallocs
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs > 4 { // runtime-internal slack only; 400 sends would show 400-fold
+		t.Fatalf("steady-state P2P stream allocated %d times over 400 sends (want ~0)", allocs)
+	}
+}
+
+// TestCollectiveHammer drives the shared-memory collectives hard from all
+// node goroutines — mixed Allreduce/Bcast/Gather/Barrier on the root view
+// and on freshly derived (arena-sharing) sub-views, with P2P traffic
+// interleaved. Primarily a data-race trap: `go test -race` runs it with the
+// race detector watching the arena's slot banks and the sense-reversing
+// barrier.
+func TestCollectiveHammer(t *testing.T) {
+	const n = 9
+	c := New(n, testModel())
+	evens := []int{0, 2, 4, 6, 8}
+	err := c.Run(func(nd *Node) {
+		buf := make([]float64, 5)
+		for round := 0; round < 300; round++ {
+			for i := range buf {
+				buf[i] = float64(nd.Rank()*1000 + round + i)
+			}
+			nd.Allreduce(OpSum, buf)
+			wantHead := float64(n*(n-1)/2*1000 + n*round) // Σ ranks·1000 + n·round
+			if buf[0] != wantHead {
+				panic(fmt.Sprintf("round %d: allreduce head %v, want %v", round, buf[0], wantHead))
+			}
+			if s := nd.AllreduceScalar(OpMax, float64(nd.Rank())); s != float64(n-1) {
+				panic(fmt.Sprintf("round %d: max %v", round, s))
+			}
+
+			// P2P ring traffic between collectives.
+			next, prev := (nd.Rank()+1)%n, (nd.Rank()+n-1)%n
+			nd.ISend(next, 42, buf[:2])
+			req := nd.IRecv(prev, 42)
+			nd.Compute(100)
+			nd.Release(req.Wait())
+
+			data := []float64{float64(round), 0}
+			root := round % n
+			if nd.Rank() == root {
+				data[1] = float64(root)
+			}
+			nd.Bcast(root, data)
+			if data[1] != float64(root) {
+				panic(fmt.Sprintf("round %d: bcast got %v", round, data))
+			}
+
+			if parts := nd.Gather(root, data); nd.Rank() == root {
+				if len(parts) != n || parts[n-1][0] != float64(round) {
+					panic(fmt.Sprintf("round %d: gather got %v", round, parts))
+				}
+			}
+
+			// Sub-communicator collectives every few rounds: the even ranks
+			// share one arena (looked up by rank set, so all rounds reuse it).
+			if round%5 == 0 && nd.Rank()%2 == 0 {
+				sub := nd.Sub(evens)
+				v := sub.AllreduceScalar(OpSum, 1)
+				if v != float64(len(evens)) {
+					panic(fmt.Sprintf("round %d: sub allreduce %v", round, v))
+				}
+				sub.Barrier()
+			}
+			nd.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,9 +3,13 @@
 // node-failure events injected by the application layer.
 //
 // Each node is a goroutine; point-to-point messages travel over lazily
-// created FIFO channels, and collectives (allreduce, broadcast, gather,
-// barrier) are built on top of them with deterministic, rank-ordered
-// reductions so that floating-point results are reproducible run to run.
+// created FIFO channels whose payload buffers come from a per-receiver
+// free list, and collectives (allreduce, broadcast, gather, barrier) run
+// over a per-view shared-memory arena — preallocated per-rank slot buffers
+// synchronized by a sense-reversing barrier — with deterministic,
+// rank-ordered reductions so that floating-point results are reproducible
+// run to run. In steady state neither path allocates: the arena slots, the
+// send buffers and the receive buffers are all recycled.
 //
 // # Simulated time
 //
@@ -26,6 +30,11 @@
 //   - collectives over n nodes synchronize all participants to
 //     max(clocks) + ⌈log₂ n⌉·(Latency + bytes·BytePeriod).
 //
+// The collective arena is a host-side execution detail: the modeled cost and
+// the modeled traffic (the messages the retired star implementation would
+// have sent) are accounted identically, so simulated clocks and byte
+// counters are bit-for-bit unchanged — only the host does less work.
+//
 // The solver's reported runtime is the maximum clock over nodes, which is
 // deterministic and host-independent; relative overheads (the paper's
 // metric) therefore depend only on algorithmic communication and compute
@@ -35,6 +44,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,25 +84,81 @@ type message struct {
 // bytes returns the modeled payload size.
 func (m *message) bytes() int { return 8*len(m.floats) + 8*len(m.ints) }
 
-// endpoint is the receive side of one node: a map of per-sender FIFO
-// channels, created lazily so that mostly-neighbour traffic patterns do not
-// allocate N² buffers.
+// endpoint is the receive side of one node: per-sender FIFO channels,
+// created lazily so that mostly-neighbour traffic patterns do not allocate
+// N² buffers, plus a free list of payload buffers. The channel table is a
+// fixed slice of atomic pointers — the steady-state lookup is one atomic
+// load, no lock, no map hashing. Senders draw their payload copies from the
+// destination's free list and the receiver returns them via Node.Release,
+// so steady-state traffic recycles a fixed working set instead of
+// allocating per message.
 type endpoint struct {
-	mu    sync.Mutex
-	boxes map[int]chan message
+	mu    sync.Mutex                // guards slow-path box creation
+	boxes []atomic.Pointer[msgChan] // per-sender, nil until first use
+
+	pmu  sync.Mutex
+	pool [][]float64
 }
 
-const boxCapacity = 4096
+// msgChan wraps a channel so it fits atomic.Pointer.
+type msgChan struct{ ch chan message }
+
+// boxCapacity bounds the in-flight messages per (sender, receiver) pair.
+// Collectives run over the shared-memory arena (never these channels), and
+// the arena barriers keep nodes within one collective of each other, so a
+// pair accumulates at most one round of halo/extra/checkpoint/recovery
+// traffic (≤ ~16 messages) before the receiver drains it. 64 leaves 4×
+// headroom while keeping the per-pair channel footprint a few KB — the
+// 4096-deep boxes of the star-collective era were 93% of a campaign cell's
+// allocations.
+const (
+	boxCapacity = 64
+	poolDepth   = 64 // free-list bound per endpoint
+)
 
 func (e *endpoint) box(src int) chan message {
+	if b := e.boxes[src].Load(); b != nil {
+		return b.ch
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	b, ok := e.boxes[src]
-	if !ok {
-		b = make(chan message, boxCapacity)
-		e.boxes[src] = b
+	if b := e.boxes[src].Load(); b != nil {
+		return b.ch
 	}
-	return b
+	b := &msgChan{ch: make(chan message, boxCapacity)}
+	e.boxes[src].Store(b)
+	return b.ch
+}
+
+// getBuf pops a free buffer with capacity ≥ n (or allocates one). The scan
+// prefers the most recently released buffer — traffic patterns here are
+// static per (pair, tag), so the top of the stack is almost always the
+// right size.
+func (e *endpoint) getBuf(n int) []float64 {
+	e.pmu.Lock()
+	for i := len(e.pool) - 1; i >= 0; i-- {
+		if cap(e.pool[i]) >= n {
+			buf := e.pool[i]
+			e.pool[i] = e.pool[len(e.pool)-1]
+			e.pool = e.pool[:len(e.pool)-1]
+			e.pmu.Unlock()
+			return buf[:n]
+		}
+	}
+	e.pmu.Unlock()
+	return make([]float64, n)
+}
+
+// putBuf returns a buffer to the free list (dropped when full).
+func (e *endpoint) putBuf(buf []float64) {
+	if cap(buf) == 0 {
+		return
+	}
+	e.pmu.Lock()
+	if len(e.pool) < poolDepth {
+		e.pool = append(e.pool, buf[:0])
+	}
+	e.pmu.Unlock()
 }
 
 // Comm is the simulated machine: the set of endpoints plus the cost model.
@@ -107,6 +173,11 @@ type Comm struct {
 	bytesSent atomic.Int64
 	msgsSent  atomic.Int64
 
+	rootView *view // identity view shared by all nodes (read-only)
+
+	arenaMu sync.Mutex
+	arenas  map[string]*arena // collective arenas keyed by member-rank set
+
 	finalClocks []float64 // filled by Run
 	wallTime    time.Duration
 }
@@ -116,12 +187,17 @@ func New(n int, model CostModel) *Comm {
 	if n <= 0 {
 		panic(fmt.Sprintf("cluster: invalid node count %d", n))
 	}
-	c := &Comm{n: n, model: model, abort: make(chan struct{})}
+	c := &Comm{n: n, model: model, abort: make(chan struct{}), arenas: make(map[string]*arena)}
 	c.endpoints = make([]*endpoint, n)
 	for i := range c.endpoints {
-		c.endpoints[i] = &endpoint{boxes: make(map[int]chan message)}
+		c.endpoints[i] = &endpoint{
+			boxes: make([]atomic.Pointer[msgChan], n),
+			pool:  make([][]float64, 0, poolDepth), // full capacity up front: putBuf never regrows it
+		}
 	}
 	c.finalClocks = make([]float64, n)
+	c.rootView = identityView(n)
+	c.rootView.ar = c.arenaFor(c.rootView.ranks)
 	return c
 }
 
@@ -141,7 +217,38 @@ func (c *Comm) fail(err error) {
 	c.abortOnce.Do(func() {
 		c.abortErr.Store(err)
 		close(c.abort)
+		// Wake every arena so nodes parked in a collective barrier unwind
+		// instead of waiting for a member that will never arrive.
+		c.arenaMu.Lock()
+		for _, a := range c.arenas {
+			a.abortAll()
+		}
+		c.arenaMu.Unlock()
 	})
+}
+
+// arenaFor returns the collective arena shared by all members of the given
+// global-rank set, creating it on first use. Callers on every member pass
+// the identical ascending rank list (the view's), so the key is canonical.
+func (c *Comm) arenaFor(ranks []int) *arena {
+	key := make([]byte, 0, 4*len(ranks))
+	for _, r := range ranks {
+		key = strconv.AppendInt(key, int64(r), 36)
+		key = append(key, ',')
+	}
+	c.arenaMu.Lock()
+	defer c.arenaMu.Unlock()
+	a, ok := c.arenas[string(key)]
+	if !ok {
+		a = newArena(len(ranks))
+		select {
+		case <-c.abort: // run already failed: new arenas are born aborted
+			a.abortAll()
+		default:
+		}
+		c.arenas[string(key)] = a
+	}
+	return a
 }
 
 // Run executes body on every node concurrently and waits for completion.
@@ -165,7 +272,7 @@ func (c *Comm) Run(body func(nd *Node)) error {
 			}()
 			nd := &Node{
 				comm:  c,
-				view:  identityView(c.n),
+				view:  c.rootView,
 				g:     g,
 				state: &nodeState{},
 			}
@@ -202,10 +309,12 @@ func (c *Comm) BytesSent() int64 { return c.bytesSent.Load() }
 // MsgsSent returns the total number of point-to-point messages.
 func (c *Comm) MsgsSent() int64 { return c.msgsSent.Load() }
 
-// view maps local ranks of a (sub-)communicator to global ranks.
+// view maps local ranks of a (sub-)communicator to global ranks. Views are
+// immutable after construction and may be shared across goroutines.
 type view struct {
 	ranks []int       // global rank per local rank, ascending
 	pos   map[int]int // global rank -> local rank
+	ar    *arena      // the members' shared collective arena
 }
 
 func identityView(n int) *view {
@@ -215,6 +324,88 @@ func identityView(n int) *view {
 		v.pos[i] = i
 	}
 	return v
+}
+
+// arena is the shared-memory collective workspace of one communicator view:
+// per-member slot buffers and clock cells, synchronized by a sense-reversing
+// barrier. A collective is ONE barrier phase: every member publishes its
+// contribution and entry clock into the current bank, the barrier flips, and
+// every member reads all slots (reducing in ascending rank order, so results
+// are bitwise deterministic). Slots are double-buffered in two banks that
+// alternate per collective: a member racing ahead into collective k+1 writes
+// the other bank, so it cannot clobber a slot a slower member is still
+// reading in collective k — that's what makes the single barrier sufficient.
+// (A member can be at most one collective ahead: the barrier of k+1 cannot
+// pass until everyone arrived there, and arriving at k+1 implies having
+// finished reading bank k.)
+type arena struct {
+	n      int
+	slots  [2][][]float64 // per-bank, per-member contribution scratch (owner-written)
+	clocks [2][]float64   // per-bank, per-member simulated clock at entry
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	count   int  // members arrived in the current phase
+	sense   bool // flips when the last member arrives
+	aborted bool
+}
+
+func newArena(n int) *arena {
+	a := &arena{n: n}
+	for b := range a.slots {
+		a.slots[b] = make([][]float64, n)
+		a.clocks[b] = make([]float64, n)
+	}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// slot returns member me's contribution buffer in bank b resized to n
+// floats, growing its capacity on first use only — steady-state collectives
+// reuse it.
+func (a *arena) slot(b, me, n int) []float64 {
+	s := a.slots[b]
+	if cap(s[me]) < n {
+		s[me] = make([]float64, n)
+	}
+	s[me] = s[me][:n]
+	return s[me]
+}
+
+// await is the sense-reversing barrier: the last member to arrive flips the
+// sense and wakes the rest. Publishing before await and reading after it is
+// race-free (the mutex orders the slot writes before the reads). An abort
+// (another node failed) unparks every waiter with the abort panic.
+func (a *arena) await() {
+	a.mu.Lock()
+	if a.aborted {
+		a.mu.Unlock()
+		panic(abortedError{cause: fmt.Errorf("collective aborted")})
+	}
+	s := a.sense
+	a.count++
+	if a.count == a.n {
+		a.count = 0
+		a.sense = !s
+		a.mu.Unlock()
+		a.cond.Broadcast()
+		return
+	}
+	for a.sense == s && !a.aborted {
+		a.cond.Wait()
+	}
+	aborted := a.aborted
+	a.mu.Unlock()
+	if aborted {
+		panic(abortedError{cause: fmt.Errorf("collective aborted")})
+	}
+}
+
+func (a *arena) abortAll() {
+	a.mu.Lock()
+	a.aborted = true
+	a.mu.Unlock()
+	a.cond.Broadcast()
 }
 
 // nodeState is the per-goroutine mutable state shared between a node and all
@@ -233,6 +424,8 @@ type Node struct {
 	view  *view
 	g     int // global rank
 	state *nodeState
+
+	collSeq uint64 // collectives completed on this view (selects the arena bank)
 }
 
 // Rank returns this node's rank within the current view.
@@ -279,11 +472,22 @@ func (nd *Node) Flops() float64 { return nd.state.flops }
 // BytesSent returns the payload bytes this node has sent.
 func (nd *Node) BytesSent() int64 { return nd.state.bytesSent }
 
+// account books msgs messages of bytes total payload against the node and
+// the machine-wide counters (the modeled traffic of a collective that the
+// arena executes without actual messages).
+func (nd *Node) account(msgs, bytes int64) {
+	nd.comm.bytesSent.Add(bytes)
+	nd.comm.msgsSent.Add(msgs)
+	nd.state.bytesSent += bytes
+	nd.state.msgsSent += msgs
+}
+
 // Sub returns a handle bound to the sub-communicator consisting of the given
 // global ranks (ascending order defines the new rank order). It returns nil
 // if this node is not a member. The handle shares the node's clock and
-// counters. The reconstruction phase uses this to run a distributed inner
-// solver on the replacement nodes only.
+// counters; all members share one collective arena, looked up by the rank
+// set. The reconstruction phase uses this to run a distributed inner solver
+// on the replacement nodes only.
 func (nd *Node) Sub(globalRanks []int) *Node {
 	v := &view{ranks: append([]int(nil), globalRanks...), pos: make(map[int]int, len(globalRanks))}
 	prev := -1
@@ -297,16 +501,23 @@ func (nd *Node) Sub(globalRanks []int) *Node {
 	if _, ok := v.pos[nd.g]; !ok {
 		return nil
 	}
+	v.ar = nd.comm.arenaFor(v.ranks)
 	return &Node{comm: nd.comm, view: v, g: nd.g, state: nd.state}
 }
 
-// send delivers a message to the local-rank dst of the current view,
-// cloning payloads so callers may reuse their buffers.
+// send delivers a message to the local-rank dst of the current view. The
+// payload is copied — callers may reuse their buffers — but the copy lands
+// in a buffer drawn from the destination's free list, so steady-state
+// traffic does not allocate. The receiver may hand the buffer back with
+// Release once it is done with the payload.
 func (nd *Node) send(dst, tag int, floats []float64, ints []int, clocked bool) {
 	gdst := nd.view.ranks[dst]
+	ep := nd.comm.endpoints[gdst]
 	m := message{tag: tag, sendTime: nd.state.clock}
 	if floats != nil {
-		m.floats = append(make([]float64, 0, len(floats)), floats...)
+		buf := ep.getBuf(len(floats))
+		copy(buf, floats)
+		m.floats = buf
 	}
 	if ints != nil {
 		m.ints = append(make([]int, 0, len(ints)), ints...)
@@ -315,14 +526,16 @@ func (nd *Node) send(dst, tag int, floats []float64, ints []int, clocked bool) {
 		nd.state.clock += nd.comm.model.Overhead
 		m.sendTime = nd.state.clock
 	}
-	nd.comm.bytesSent.Add(int64(m.bytes()))
-	nd.comm.msgsSent.Add(1)
-	nd.state.bytesSent += int64(m.bytes())
-	nd.state.msgsSent++
+	nd.account(1, int64(m.bytes()))
+	box := ep.box(nd.g)
 	select {
-	case nd.comm.endpoints[gdst].box(nd.g) <- m:
-	case <-nd.comm.abort:
-		panic(abortedError{cause: fmt.Errorf("send to %d aborted", gdst)})
+	case box <- m: // fast path: box has room (it almost always does)
+	default:
+		select {
+		case box <- m:
+		case <-nd.comm.abort:
+			panic(abortedError{cause: fmt.Errorf("send to %d aborted", gdst)})
+		}
 	}
 }
 
@@ -332,11 +545,16 @@ func (nd *Node) send(dst, tag int, floats []float64, ints []int, clocked bool) {
 // time.
 func (nd *Node) recv(src, tag int, clocked bool) message {
 	gsrc := nd.view.ranks[src]
+	box := nd.comm.endpoints[nd.g].box(gsrc)
 	var m message
 	select {
-	case m = <-nd.comm.endpoints[nd.g].box(gsrc):
-	case <-nd.comm.abort:
-		panic(abortedError{cause: fmt.Errorf("recv from %d aborted", gsrc)})
+	case m = <-box: // fast path: message already delivered
+	default:
+		select {
+		case m = <-box:
+		case <-nd.comm.abort:
+			panic(abortedError{cause: fmt.Errorf("recv from %d aborted", gsrc)})
+		}
 	}
 	if m.tag != tag {
 		panic(fmt.Sprintf("cluster: node %d expected tag %d from %d, got %d", nd.g, tag, gsrc, m.tag))
@@ -360,9 +578,20 @@ func (nd *Node) SendFI(dst, tag int, floats []float64, ints []int) {
 	nd.send(dst, tag, floats, ints, true)
 }
 
-// Recv receives a float payload from view-rank src with the given tag.
+// Recv receives a float payload from view-rank src with the given tag. The
+// returned slice is owned by the caller; pass it to Release when done to
+// recycle it, or retain it indefinitely.
 func (nd *Node) Recv(src, tag int) []float64 {
 	return nd.recv(src, tag, true).floats
+}
+
+// Release returns a payload slice previously obtained from Recv / RecvFI /
+// Request.Wait to this node's free list, so a later sender to this node can
+// reuse it. Releasing a buffer the caller still reads from — or one not
+// obtained from a receive — corrupts future messages; when in doubt, don't:
+// unreleased buffers are simply collected by the GC.
+func (nd *Node) Release(buf []float64) {
+	nd.comm.endpoints[nd.g].putBuf(buf)
 }
 
 // Request is the handle of a nonblocking receive posted with IRecv. The zero
@@ -444,13 +673,6 @@ func (op Op) apply(dst, src []float64) {
 	}
 }
 
-const (
-	tagReduceUp = -101
-	tagReduceDn = -102
-	tagBcast    = -103
-	tagGather   = -104
-)
-
 // collectiveCost returns the modeled time for one size-`bytes` collective
 // over n participants: ⌈log₂ n⌉ rounds of latency plus serialization.
 func (nd *Node) collectiveCost(bytes int) float64 {
@@ -460,42 +682,46 @@ func (nd *Node) collectiveCost(bytes int) float64 {
 }
 
 // Allreduce reduces x elementwise over all view members with operator op,
-// leaving the identical result in x on every member. The reduction is
-// performed in ascending rank order at rank 0, so results are bitwise
-// deterministic. All members' clocks synchronize to
-// max(member clocks) + collectiveCost.
+// leaving the identical result in x on every member. Every member applies
+// the reduction over the arena slots in ascending rank order — the same
+// order the retired rank-0 star used — so results are bitwise deterministic
+// and identical on all members. All members' clocks synchronize to
+// max(member clocks) + collectiveCost; the traffic the star implementation
+// would have sent (each member one payload up, rank 0 one payload down per
+// member) is accounted so byte counters stay comparable run over run.
+// Steady-state calls perform no heap allocation.
 func (nd *Node) Allreduce(op Op, x []float64) {
 	n := nd.Size()
-	me := nd.Rank()
 	if n == 1 {
-		nd.state.clock += 0 // no communication
-		return
+		return // no communication, no clock effect
 	}
-	payload := append(append(make([]float64, 0, len(x)+1), x...), nd.state.clock)
+	me := nd.Rank()
+	a := nd.view.ar
+	bank := int(nd.collSeq & 1)
+	nd.collSeq++
+
+	slot := a.slot(bank, me, len(x))
+	copy(slot, x)
+	a.clocks[bank][me] = nd.state.clock
+	a.await() // all contributions published
+
+	slots, clocks := a.slots[bank], a.clocks[bank]
+	copy(x, slots[0][:len(x)])
+	tmax := clocks[0]
+	for r := 1; r < n; r++ {
+		op.apply(x, slots[r][:len(x)])
+		if clocks[r] > tmax {
+			tmax = clocks[r]
+		}
+	}
+	nd.state.clock = tmax + nd.collectiveCost(8*len(x))
+
+	payloadBytes := int64(8 * (len(x) + 1)) // star payload: body + clock
 	if me == 0 {
-		tmax := nd.state.clock
-		acc := append([]float64(nil), x...)
-		for r := 1; r < n; r++ {
-			m := nd.recv(r, tagReduceUp, false)
-			body, clk := m.floats[:len(x)], m.floats[len(x)]
-			op.apply(acc, body)
-			if clk > tmax {
-				tmax = clk
-			}
-		}
-		newClock := tmax + nd.collectiveCost(8*len(x))
-		out := append(append(make([]float64, 0, len(x)+1), acc...), newClock)
-		for r := 1; r < n; r++ {
-			nd.send(r, tagReduceDn, out, nil, false)
-		}
-		copy(x, acc)
-		nd.state.clock = newClock
-		return
+		nd.account(int64(n-1), int64(n-1)*payloadBytes)
+	} else {
+		nd.account(1, payloadBytes)
 	}
-	nd.send(0, tagReduceUp, payload, nil, false)
-	m := nd.recv(0, tagReduceDn, false)
-	copy(x, m.floats[:len(x)])
-	nd.state.clock = m.floats[len(x)]
 }
 
 // AllreduceScalar reduces a single value.
@@ -517,21 +743,23 @@ func (nd *Node) Bcast(root int, data []float64) {
 		return
 	}
 	me := nd.Rank()
+	a := nd.view.ar
+	bank := int(nd.collSeq & 1)
+	nd.collSeq++
 	if me == root {
-		payload := append(append(make([]float64, 0, len(data)+1), data...), nd.state.clock)
-		for r := 0; r < n; r++ {
-			if r != root {
-				nd.send(r, tagBcast, payload, nil, false)
-			}
-		}
-		nd.state.clock += nd.collectiveCost(8 * len(data))
-		return
+		slot := a.slot(bank, me, len(data))
+		copy(slot, data)
+		a.clocks[bank][me] = nd.state.clock
 	}
-	m := nd.recv(root, tagBcast, false)
-	copy(data, m.floats[:len(data)])
-	rootClock := m.floats[len(data)]
-	t := math.Max(rootClock, nd.state.clock) + nd.collectiveCost(8*len(data))
-	nd.state.clock = t
+	a.await()
+	cost := nd.collectiveCost(8 * len(data))
+	if me == root {
+		nd.state.clock += cost
+		nd.account(int64(n-1), int64(n-1)*int64(8*(len(data)+1)))
+	} else {
+		copy(data, a.slots[bank][root][:len(data)])
+		nd.state.clock = math.Max(a.clocks[bank][root], nd.state.clock) + cost
+	}
 }
 
 // Gather collects each member's data slice at view-rank root. On root it
@@ -539,31 +767,39 @@ func (nd *Node) Bcast(root int, data []float64) {
 func (nd *Node) Gather(root int, data []float64) [][]float64 {
 	n := nd.Size()
 	me := nd.Rank()
+	a := nd.view.ar
+	bank := int(nd.collSeq & 1)
+	nd.collSeq++
+
+	slot := a.slot(bank, me, len(data))
+	copy(slot, data)
+	a.clocks[bank][me] = nd.state.clock
 	if me != root {
-		payload := append(append(make([]float64, 0, len(data)+1), data...), nd.state.clock)
-		nd.send(root, tagGather, payload, nil, false)
-		// The sender's clock advances only by its own send overhead; gather is
-		// not synchronizing for non-roots.
+		// The sender's clock advances only by its own send overhead; gather
+		// is not synchronizing for non-roots on the simulated clock (the
+		// arena barrier is a host-side artifact with no modeled cost).
+		nd.account(1, int64(8*(len(data)+1)))
 		nd.state.clock += nd.comm.model.Overhead
-		return nil
 	}
-	out := make([][]float64, n)
-	out[me] = append([]float64(nil), data...)
-	tmax := nd.state.clock
-	totalBytes := 0
-	for r := 0; r < n; r++ {
-		if r == root {
-			continue
+	a.await()
+	var out [][]float64
+	if me == root {
+		slots, clocks := a.slots[bank], a.clocks[bank]
+		out = make([][]float64, n)
+		tmax := nd.state.clock
+		totalBytes := 0
+		for r := 0; r < n; r++ {
+			out[r] = append([]float64(nil), slots[r]...)
+			if r == root {
+				continue
+			}
+			if clocks[r] > tmax {
+				tmax = clocks[r]
+			}
+			totalBytes += 8 * len(slots[r])
 		}
-		m := nd.recv(r, tagGather, false)
-		out[r] = append([]float64(nil), m.floats[:len(m.floats)-1]...)
-		clk := m.floats[len(m.floats)-1]
-		if clk > tmax {
-			tmax = clk
-		}
-		totalBytes += 8 * (len(m.floats) - 1)
+		nd.state.clock = tmax + nd.comm.model.Latency*math.Ceil(math.Log2(float64(max(n, 2)))) +
+			float64(totalBytes)*nd.comm.model.BytePeriod
 	}
-	nd.state.clock = tmax + nd.comm.model.Latency*math.Ceil(math.Log2(float64(max(n, 2)))) +
-		float64(totalBytes)*nd.comm.model.BytePeriod
 	return out
 }

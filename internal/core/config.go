@@ -187,6 +187,18 @@ type Config struct {
 	// iteration to Result.Residuals (costs memory, intended for examples
 	// and tests).
 	RecordResiduals bool
+
+	// Prepared supplies a prebuilt read-only solve context (partition, plan,
+	// local matrices, preconditioners) from Prepare. Settings must match the
+	// config (validated); nil rebuilds everything per solve. Sharing one
+	// Prepared across solves — concurrent ones included — is safe and is how
+	// the campaign engine amortizes setup across grid cells.
+	Prepared *Prepared
+
+	// Workspace recycles the per-rank solver vector buffers between
+	// consecutive solves (see Workspace). A Workspace must not be shared by
+	// two solves running at the same time; nil allocates fresh vectors.
+	Workspace *Workspace
 }
 
 // withDefaults returns a copy of cfg with defaults applied, or an error if

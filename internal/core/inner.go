@@ -157,13 +157,12 @@ func innerPCG(nd *cluster.Node, a *sparse.CSR, plan *aspmv.Plan, ipart *dist.Par
 			break
 		}
 		alpha := rz / pq
-		vec.Axpy(alpha, p, x)
-		vec.Axpy(-alpha, q, r)
+		vec.AxpyPair(alpha, p, x, -alpha, q, r)
 		nd.Compute(4 * float64(m))
 		pc.Apply(z, r)
 		nd.Compute(pc.ApplyFlops())
-		rzLoc = vec.Dot(r, z)
-		rrLoc := vec.Dot(r, r)
+		var rrLoc float64
+		rzLoc, rrLoc = vec.Dot2(r, z)
 		nd.Compute(4 * float64(m))
 		rzNew, rr := dot2(rzLoc, rrLoc)
 		beta := rzNew / rz

@@ -257,7 +257,8 @@ func (run *nodeRun) gatherXHalo(failed []int, adopter int) map[int]float64 {
 					xHalo[gi] = run.x[gi-run.lo]
 				}
 			case t.Peer == me:
-				buf := make([]float64, len(t.Idx))
+				run.sendScratch = growF(run.sendScratch, len(t.Idx))
+				buf := run.sendScratch
 				for k, gi := range t.Idx {
 					buf[k] = run.x[gi-run.lo]
 				}

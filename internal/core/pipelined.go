@@ -46,13 +46,20 @@ func SolvePipelined(cfg Config) (*Result, error) {
 	if cfg.CostModel != nil {
 		model = *cfg.CostModel
 	}
-	part, err := buildPartition(&cfg)
-	if err != nil {
+	var part *dist.Partition
+	var plan *aspmv.Plan
+	if prep := cfg.Prepared; prep != nil {
+		if err := prep.compatibleWith(&cfg); err != nil {
+			return nil, err
+		}
+		part, plan = prep.part, prep.plan
+	} else if part, plan, err = buildPartitionPlan(&cfg); err != nil {
+		// Pipelined strategies (None/IMCR) never augment, so the shared
+		// builder yields the plain plan here.
 		return nil, err
 	}
-	plan, err := aspmv.NewPlan(cfg.A, part)
-	if err != nil {
-		return nil, err
+	if ws := cfg.Workspace; ws != nil {
+		ws.reset(cfg.Nodes)
 	}
 	comm := cluster.New(cfg.Nodes, model)
 	result := &Result{}
@@ -106,13 +113,18 @@ func newPipeRun(cfg *Config, nd *cluster.Node, part *dist.Partition, plan *aspmv
 	}
 	base.res = nil // the pipelined solver manages its own redundancy
 	m := base.m
+	// s, qv, zv and the base's p enter the first iteration's recurrences
+	// multiplied by β = 0 — they must start as true zeros (0·NaN ≠ 0), so
+	// they come from the clearing allocator. u, w, mv, nv are computed
+	// before their first read and may reuse dirty workspace buffers.
 	run := &pipeRun{
 		nodeRun: base,
-		u:       make([]float64, m), w: make([]float64, m),
-		s: make([]float64, m), qv: make([]float64, m),
-		zv: make([]float64, m), mv: make([]float64, m),
-		nv: make([]float64, m),
+		u:       base.alloc(m), w: base.alloc(m),
+		s: base.allocZero(m), qv: base.allocZero(m),
+		zv: base.allocZero(m), mv: base.alloc(m),
+		nv: base.alloc(m),
 	}
+	vec.Zero(run.p) // p was dirty-allocated by newNodeRun
 	if cfg.Strategy == StrategyIMCR {
 		n, rank := cfg.Nodes, nd.Rank()
 		ck := &pipeCkpt{ownIter: -1, held: make(map[int][]float64)}
@@ -179,8 +191,10 @@ func (run *pipeRun) main(result *Result) {
 	firstIter := true
 	for ; j < cfg.MaxIter; totalSteps++ {
 		// Fused allreduce: γ = (r,u), δ = (w,u), ‖r‖² — the single
-		// synchronization point per iteration.
-		buf := [3]float64{vec.Dot(run.r, run.u), vec.Dot(run.w, run.u), vec.Norm2Sq(run.r)}
+		// synchronization point per iteration, with the three local partial
+		// sums fused into one sweep over r, u, w.
+		gammaLoc, deltaLoc, rrLoc := vec.Dot3(run.r, run.u, run.w)
+		buf := [3]float64{gammaLoc, deltaLoc, rrLoc}
 		run.nd.Compute(6 * float64(run.m))
 		run.nd.Allreduce(cluster.OpSum, buf[:])
 		gamma, delta, rr := buf[0], buf[1], buf[2]
@@ -229,10 +243,8 @@ func (run *pipeRun) main(result *Result) {
 		vec.XpayInto(run.qv, run.mv, beta, run.qv)
 		vec.XpayInto(run.s, run.w, beta, run.s)
 		vec.XpayInto(run.p, run.u, beta, run.p)
-		vec.Axpy(alpha, run.p, run.x)
-		vec.Axpy(-alpha, run.s, run.r)
-		vec.Axpy(-alpha, run.qv, run.u)
-		vec.Axpy(-alpha, run.zv, run.w)
+		vec.AxpyPair(alpha, run.p, run.x, -alpha, run.s, run.r)
+		vec.AxpyPair(-alpha, run.qv, run.u, -alpha, run.zv, run.w)
 		run.nd.Compute(16 * float64(run.m))
 
 		run.gammaOld, run.alphaOld = gamma, alpha
@@ -313,7 +325,10 @@ func (run *pipeRun) pipeCheckpoint(j int) {
 		return
 	}
 	m := run.m
-	payload := make([]float64, 0, 8*m+2)
+	payload := ck.ownData[:0]
+	if cap(payload) < 8*m+2 {
+		payload = make([]float64, 0, 8*m+2)
+	}
 	for _, v := range [][]float64{run.x, run.r, run.u, run.w, run.p, run.s, run.qv, run.zv} {
 		payload = append(payload, v...)
 	}
@@ -324,6 +339,9 @@ func (run *pipeRun) pipeCheckpoint(j int) {
 		run.nd.Send(b, tagCheckpoint, payload)
 	}
 	for _, src := range ck.sources {
+		if old := ck.held[src]; old != nil {
+			run.nd.Release(old)
+		}
 		ck.held[src] = run.nd.Recv(src, tagCheckpoint)
 	}
 }
@@ -407,7 +425,8 @@ func (run *pipeRun) pipeRecover(j int, failed []int) (int, string) {
 			run.notePipePeak(8 * int64(len(data))) // restore payload in flight
 			run.pipeRestore(data)
 			ck.ownIter = jrec
-			ck.ownData = append([]float64(nil), data...)
+			ck.ownData = append(ck.ownData[:0], data...)
+			run.nd.Release(data)
 		}
 	}
 	if !amFailed {
@@ -421,6 +440,9 @@ func (run *pipeRun) pipeRecover(j int, failed []int) (int, string) {
 			run.nd.Send(b, tagCheckpoint, ck.ownData)
 		}
 		for _, src := range ck.sources {
+			if old := ck.held[src]; old != nil {
+				run.nd.Release(old)
+			}
 			ck.held[src] = run.nd.Recv(src, tagCheckpoint)
 		}
 	}

@@ -61,8 +61,8 @@ func newESRState(run *nodeRun) *esrState {
 	}
 	return &esrState{
 		run: run, t: run.cfg.T, queue: aspmv.NewQueue(depth),
-		xs: make([]float64, run.m), rs: make([]float64, run.m),
-		zs: make([]float64, run.m), ps: make([]float64, run.m),
+		xs: run.alloc(run.m), rs: run.alloc(run.m),
+		zs: run.alloc(run.m), ps: run.alloc(run.m),
 		starsIter: -1,
 	}
 }
@@ -173,8 +173,13 @@ func (st *imcrState) afterIteration(j int, _ float64) {
 	run := st.run
 	// The state now in x, r, z, p is the state at the start of iteration
 	// j+1, so the restorable checkpoint is for iteration j+1 — the same
-	// recovery point ESRP's storage stage at (j, j+1) yields.
-	payload := make([]float64, 0, 4*run.m)
+	// recovery point ESRP's storage stage at (j, j+1) yields. The payload
+	// reuses the previous checkpoint's backing array (Send copies it into a
+	// pooled buffer before it leaves the node).
+	payload := st.ownData[:0]
+	if cap(payload) < 4*run.m {
+		payload = make([]float64, 0, 4*run.m)
+	}
 	payload = append(payload, run.x...)
 	payload = append(payload, run.r...)
 	payload = append(payload, run.z...)
@@ -185,6 +190,9 @@ func (st *imcrState) afterIteration(j int, _ float64) {
 		run.nd.Send(b, tagCheckpoint, payload)
 	}
 	for _, src := range st.sources {
+		if old := st.held[src]; old != nil {
+			run.nd.Release(old) // superseded checkpoint: recycle its buffer
+		}
 		st.held[src] = run.nd.Recv(src, tagCheckpoint)
 		st.heldIt[src] = j + 1
 	}
@@ -407,9 +415,10 @@ func (run *nodeRun) recoverESR(j int, failed []int) (int, string) {
 	// index range at the replacement nodes. The set of surviving holders of
 	// each failed node's entries is static: the plain and resilient-copy
 	// receivers of that node's ASpMV traffic.
-	pPrev := make([]float64, run.m)
-	pCur := make([]float64, run.m)
-	covered := make([]int, run.m) // bitmask: 1 = prev seen, 2 = cur seen
+	run.recPrev = growF(run.recPrev, run.m)
+	run.recCur = growF(run.recCur, run.m)
+	run.recCovered = growI(run.recCovered, run.m) // bitmask: 1 = prev seen, 2 = cur seen
+	pPrev, pCur, covered := run.recPrev, run.recCur, run.recCovered
 	// Reconstruction scratch high-water mark: every node allocates the
 	// gather buffers, but only the failed (reconstructing) nodes run the
 	// inner solve and hold its working vectors.
@@ -496,7 +505,8 @@ func (run *nodeRun) recoverESR(j int, failed []int) (int, string) {
 				if t.Peer != me {
 					continue
 				}
-				buf := make([]float64, len(t.Idx))
+				run.sendScratch = growF(run.sendScratch, len(t.Idx))
+				buf := run.sendScratch
 				for k, gi := range t.Idx {
 					buf[k] = run.x[gi-run.lo]
 				}
@@ -529,7 +539,8 @@ func (run *nodeRun) recoverESR(j int, failed []int) (int, string) {
 		// local matrix: owned columns lie inside If by construction, ghost
 		// columns owned by other failed ranks are inner-system unknowns —
 		// both are skipped, leaving exactly the surviving coupling.
-		w := make([]float64, run.m)
+		run.recW = growF(run.recW, run.m)
+		w := run.recW
 		bLoc := run.cfg.B[run.lo:run.hi]
 		for i := 0; i < run.m; i++ {
 			cols, vals := run.local.Row(i)
@@ -673,7 +684,8 @@ func (run *nodeRun) recoverIMCR(j int, failed []int) (int, string) {
 			copy(run.z, data[2*run.m:3*run.m])
 			copy(run.p, data[3*run.m:4*run.m])
 			st.ownIter = jrec
-			st.ownData = append([]float64(nil), data...)
+			st.ownData = append(st.ownData[:0], data...)
+			run.nd.Release(data)
 		}
 	}
 	if !amFailed {
@@ -693,6 +705,9 @@ func (run *nodeRun) recoverIMCR(j int, failed []int) (int, string) {
 			run.nd.Send(b, tagCheckpoint, st.ownData)
 		}
 		for _, src := range st.sources {
+			if old := st.held[src]; old != nil {
+				run.nd.Release(old)
+			}
 			st.held[src] = run.nd.Recv(src, tagCheckpoint)
 			st.heldIt[src] = jrec
 		}

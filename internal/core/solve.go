@@ -23,23 +23,18 @@ func Solve(cfg Config) (*Result, error) {
 	if cfg.CostModel != nil {
 		model = *cfg.CostModel
 	}
-	part, err := buildPartition(&cfg)
-	if err != nil {
-		return nil, err
-	}
-	plan, err := aspmv.NewPlan(cfg.A, part)
-	if err != nil {
-		return nil, err
-	}
-	needsRedundancy := cfg.Strategy == StrategyESR || cfg.Strategy == StrategyESRP
-	if needsRedundancy {
-		augment := plan.Augment
-		if cfg.NaiveAugment {
-			augment = plan.AugmentNaive
-		}
-		if err := augment(cfg.Phi); err != nil {
+	var part *dist.Partition
+	var plan *aspmv.Plan
+	if prep := cfg.Prepared; prep != nil {
+		if err := prep.compatibleWith(&cfg); err != nil {
 			return nil, err
 		}
+		part, plan = prep.part, prep.plan
+	} else if part, plan, err = buildPartitionPlan(&cfg); err != nil {
+		return nil, err
+	}
+	if ws := cfg.Workspace; ws != nil {
+		ws.reset(cfg.Nodes)
 	}
 	comm := cluster.New(cfg.Nodes, model)
 	result := &Result{}
@@ -123,6 +118,13 @@ type nodeRun struct {
 	m        int // local size
 	nnzLocal float64
 
+	// alloc provides the steady-state vector buffers: fresh makes by
+	// default, workspace-recycled ones under Config.Workspace. alloc may
+	// return dirty buffers (callers must fully overwrite before reading);
+	// allocZero always clears, for vectors whose zero value is semantic.
+	alloc     func(n int) []float64
+	allocZero func(n int) []float64
+
 	local *sparse.Local    // block rows in the compact owned+ghost index space
 	ex    *aspmv.Exchanger // halo exchange driver (Start/Finish halves)
 
@@ -154,30 +156,82 @@ type nodeRun struct {
 
 	peakBytes int64 // transient recovery high-water mark (see notePeak)
 
+	// Recovery scratch, grown on first use and reused across events, so
+	// failure-heavy campaign cells do not re-allocate the gather buffers per
+	// event. Not part of stateBytes: the peak accounting (notePeak) already
+	// samples these live during recovery.
+	recPrev, recCur, recW []float64
+	recCovered            []int
+	sendScratch           []float64
+
 	residLog []float64
+}
+
+// growF resizes buf to n floats, reusing its backing array when possible.
+// The returned slice is zeroed.
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// growI is growF for int slices.
+func growI(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 func newNodeRun(cfg *Config, nd *cluster.Node, part *dist.Partition, plan *aspmv.Plan) (*nodeRun, error) {
 	s := nd.Rank()
 	lo, hi := part.Lo(s), part.Hi(s)
-	pc, err := precond.Build(cfg.PrecondKind, cfg.A, lo, hi, cfg.MaxBlock)
-	if err != nil {
-		return nil, err
+	var pc precond.Preconditioner
+	var local *sparse.Local
+	if prep := cfg.Prepared; prep != nil {
+		// The shared context already built (and validated) this rank's
+		// preconditioner and compact local matrix.
+		pc, local = prep.pcs[s], prep.locals[s]
+	} else {
+		var err error
+		pc, err = precond.Build(cfg.PrecondKind, cfg.A, lo, hi, cfg.MaxBlock)
+		if err != nil {
+			return nil, err
+		}
+		if pc.CouplesAcrossNodes() {
+			return nil, fmt.Errorf("core: preconditioners coupling across node boundaries are not supported by the reconstruction")
+		}
+		local, err = sparse.NewLocal(cfg.A, lo, hi, plan.Ghost(s))
+		if err != nil {
+			return nil, fmt.Errorf("core: local matrix extraction: %w", err)
+		}
 	}
-	if pc.CouplesAcrossNodes() {
-		return nil, fmt.Errorf("core: preconditioners coupling across node boundaries are not supported by the reconstruction")
-	}
-	local, err := sparse.NewLocal(cfg.A, lo, hi, plan.Ghost(s))
-	if err != nil {
-		return nil, fmt.Errorf("core: local matrix extraction: %w", err)
+	// Fresh makes by default; workspace-recycled buffers under
+	// Config.Workspace. Only x needs the cleared variant (zero initial
+	// guess); every other vector is fully overwritten before its first read
+	// (bootstrap computes r, z, p, q and the exchange fills pg's ghost run).
+	alloc := func(n int) []float64 { return make([]float64, n) }
+	allocZero := alloc
+	if ws := cfg.Workspace; ws != nil {
+		na := ws.node(nd.GlobalRank())
+		alloc, allocZero = na.grab, na.grabZero
 	}
 	run := &nodeRun{
 		cfg: cfg, nd: nd, part: part, plan: plan, pc: pc,
 		lo: lo, hi: hi, m: hi - lo, nnzLocal: float64(local.NNZ()),
-		local: local, ex: plan.NewExchanger(s),
-		x: make([]float64, hi-lo), r: make([]float64, hi-lo),
-		z: make([]float64, hi-lo), p: make([]float64, hi-lo),
-		q: make([]float64, hi-lo), pg: make([]float64, hi-lo+local.G()),
+		local: local, ex: plan.NewExchanger(s), alloc: alloc, allocZero: allocZero,
+		x: allocZero(hi - lo), r: alloc(hi - lo),
+		z: alloc(hi - lo), p: alloc(hi - lo),
+		q: alloc(hi - lo), pg: alloc(hi - lo + local.G()),
 		events: cfg.Failures, phi: cfg.Phi,
 		sparesLeft: initialSpares(cfg),
 	}
@@ -218,16 +272,16 @@ func (run *nodeRun) pendingEvents() bool { return run.nextEvent < len(run.events
 // Unless cfg.BlockingExchange, the interior-rows product runs between the
 // exchange's Start and Finish halves, hiding the halo latency behind local
 // compute on the simulated clock. If augmented, the received redundant copy
-// is returned for the caller to retain.
-func (run *nodeRun) spmv(augmented bool, iter int) *aspmv.ReceivedCopy {
+// is returned by value (ok=true) for the caller to retain — a pointer here
+// would escape to the heap once per iteration.
+func (run *nodeRun) spmv(augmented bool, iter int) (rc aspmv.ReceivedCopy, ok bool) {
 	if !augmented {
 		run.spmvInto(run.q, run.p)
-		return nil
+		return aspmv.ReceivedCopy{}, false
 	}
 	copy(run.pg[:run.m], run.p)
 	run.ex.StartAugmented(run.nd, run.pg[:run.m])
 	ghost := run.pg[run.m:]
-	var rc aspmv.ReceivedCopy
 	if run.cfg.BlockingExchange {
 		rc = run.ex.FinishAugmented(run.nd, ghost, iter)
 		run.local.Mul(run.q, run.pg)
@@ -239,7 +293,7 @@ func (run *nodeRun) spmv(augmented bool, iter int) *aspmv.ReceivedCopy {
 		run.local.MulBoundary(run.q, run.pg)
 		run.nd.Compute(2 * float64(run.local.BoundaryNNZ()))
 	}
-	return &rc
+	return rc, true
 }
 
 // spmvInto computes dst = A·src on the local rows via the plain compact
@@ -284,9 +338,8 @@ func (run *nodeRun) bootstrap() float64 {
 	run.pc.Apply(run.z, run.r)
 	run.nd.Compute(run.pc.ApplyFlops())
 	copy(run.p, run.z)
-	rzLoc := vec.Dot(run.r, run.z)
+	rzLoc, rrLoc := vec.Dot2(run.r, run.z)
 	bbLoc := vec.Dot(bLoc, bLoc)
-	rrLoc := vec.Dot(run.r, run.r)
 	run.nd.Compute(6 * float64(run.m))
 	buf := [3]float64{rzLoc, bbLoc, rrLoc}
 	run.nd.Allreduce(cluster.OpSum, buf[:])
@@ -315,9 +368,8 @@ func (run *nodeRun) main(result *Result) {
 		if run.res != nil {
 			augmented = run.res.beforeSpMV(j)
 		}
-		rc := run.spmv(augmented, j)
-		if rc != nil {
-			run.res.retain(*rc)
+		if rc, ok := run.spmv(augmented, j); ok {
+			run.res.retain(rc)
 		}
 
 		// Failure injection point: immediately after the SpMV communication
@@ -346,8 +398,7 @@ func (run *nodeRun) main(result *Result) {
 		pq := run.nd.AllreduceScalar(cluster.OpSum, pqLoc)
 		alpha := run.rz / pq
 
-		vec.Axpy(alpha, run.p, run.x)
-		vec.Axpy(-alpha, run.q, run.r)
+		vec.AxpyPair(alpha, run.p, run.x, -alpha, run.q, run.r)
 		run.nd.Compute(4 * float64(run.m))
 
 		// Residual replacement (ref. 27): swap the recurrence residual for
@@ -362,8 +413,7 @@ func (run *nodeRun) main(result *Result) {
 		run.pc.Apply(run.z, run.r)
 		run.nd.Compute(run.pc.ApplyFlops())
 
-		rzLoc := vec.Dot(run.r, run.z)
-		rrLoc := vec.Dot(run.r, run.r)
+		rzLoc, rrLoc := vec.Dot2(run.r, run.z)
 		run.nd.Compute(4 * float64(run.m))
 		rzNew, rr := run.dot2(rzLoc, rrLoc)
 

@@ -90,6 +90,13 @@ var ErrNotSPD = errors.New("dense: matrix is not positive definite")
 type Cholesky struct {
 	N int
 	L []float64 // row-major lower triangle (full N×N storage, upper part zero)
+
+	// ut is Lᵀ stored row-major (upper triangle), so the backward
+	// substitution of Solve walks memory contiguously instead of striding
+	// down a column of L. Same values, same operation order — Solve results
+	// are bitwise unchanged; this is purely a memory-layout optimization for
+	// the block-Jacobi hot path.
+	ut []float64
 }
 
 // Factor computes the Cholesky factorization of the symmetric positive
@@ -115,7 +122,13 @@ func Factor(a *Matrix) (*Cholesky, error) {
 			l[i*n+j] = s / ljj
 		}
 	}
-	return &Cholesky{N: n, L: l}, nil
+	ut := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for k := i; k < n; k++ {
+			ut[i*n+k] = l[k*n+i]
+		}
+	}
+	return &Cholesky{N: n, L: l, ut: ut}, nil
 }
 
 // Solve computes x = A⁻¹ b in place: b is overwritten with the solution.
@@ -127,19 +140,21 @@ func (c *Cholesky) Solve(b []float64) {
 	// Forward substitution: L y = b.
 	for i := 0; i < n; i++ {
 		s := b[i]
-		row := c.L[i*n : i*n+i]
-		for k, lik := range row {
-			s -= lik * b[k]
+		bi := b[:i]
+		for k, lik := range c.L[i*n : i*n+i] {
+			s -= lik * bi[k]
 		}
 		b[i] = s / c.L[i*n+i]
 	}
-	// Backward substitution: Lᵀ x = y.
+	// Backward substitution: Lᵀ x = y, reading the transposed copy so the
+	// inner loop is contiguous. Identical operand values in identical order.
 	for i := n - 1; i >= 0; i-- {
 		s := b[i]
-		for k := i + 1; k < n; k++ {
-			s -= c.L[k*n+i] * b[k]
+		bs := b[i+1 : n]
+		for k, u := range c.ut[i*n+i+1 : i*n+n] {
+			s -= u * bs[k]
 		}
-		b[i] = s / c.L[i*n+i]
+		b[i] = s / c.ut[i*n+i]
 	}
 }
 

@@ -138,9 +138,12 @@ func (l *Local) Row(i int) (cols []int, vals []float64) {
 // mulRow accumulates local row i of the product against the assembled
 // owned+ghost vector x (length M+G).
 func (l *Local) mulRow(i int, x []float64) float64 {
+	lo, hi := l.RowPtr[i], l.RowPtr[i+1]
+	cols := l.Cols[lo:hi]
+	vals := l.Vals[lo:hi]
 	var s float64
-	for k := l.RowPtr[i]; k < l.RowPtr[i+1]; k++ {
-		s += l.Vals[k] * x[l.Cols[k]]
+	for k, v := range vals {
+		s += v * x[cols[k]]
 	}
 	return s
 }

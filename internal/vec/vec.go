@@ -9,19 +9,88 @@ package vec
 
 import "math"
 
-// Dot returns the inner product x·y of two equally long vectors.
+// Dot returns the inner product x·y of two equally long vectors. The loop
+// is 4-way unrolled with a single accumulator updated in index order, so the
+// summation order — and therefore the floating-point result — is bitwise
+// identical to the naive loop.
 func Dot(x, y []float64) float64 {
 	var s float64
-	for i, xi := range x {
-		s += xi * y[i]
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		y4 := y[i : i+4 : i+4]
+		x4 := x[i : i+4 : i+4]
+		s += x4[0] * y4[0]
+		s += x4[1] * y4[1]
+		s += x4[2] * y4[2]
+		s += x4[3] * y4[3]
+	}
+	for ; i < len(x); i++ {
+		s += x[i] * y[i]
 	}
 	return s
 }
 
-// Axpy computes y += a*x in place.
+// Dot2 returns x·y and x·x in one sweep — the fused form of the solver's
+// per-iteration (r·z, r·r) pair. Each accumulator is updated in index order,
+// so both sums are bitwise identical to two separate Dot calls.
+func Dot2(x, y []float64) (xy, xx float64) {
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x4 := x[i : i+4 : i+4]
+		y4 := y[i : i+4 : i+4]
+		xy += x4[0] * y4[0]
+		xx += x4[0] * x4[0]
+		xy += x4[1] * y4[1]
+		xx += x4[1] * x4[1]
+		xy += x4[2] * y4[2]
+		xx += x4[2] * x4[2]
+		xy += x4[3] * y4[3]
+		xx += x4[3] * x4[3]
+	}
+	for ; i < len(x); i++ {
+		xy += x[i] * y[i]
+		xx += x[i] * x[i]
+	}
+	return xy, xx
+}
+
+// Dot3 returns x·y, z·y and x·x in one sweep — the pipelined solver's fused
+// (γ, δ, ‖r‖²) triple with x = r, y = u, z = w. Order-preserving like Dot2.
+func Dot3(x, y, z []float64) (xy, zy, xx float64) {
+	for i := range x {
+		xi, yi := x[i], y[i]
+		xy += xi * yi
+		zy += z[i] * yi
+		xx += xi * xi
+	}
+	return xy, zy, xx
+}
+
+// Axpy computes y += a*x in place (4-way unrolled; elementwise, so the
+// result is bitwise identical to the naive loop).
 func Axpy(a float64, x, y []float64) {
-	for i, xi := range x {
-		y[i] += a * xi
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x4 := x[i : i+4 : i+4]
+		y4 := y[i : i+4 : i+4]
+		y4[0] += a * x4[0]
+		y4[1] += a * x4[1]
+		y4[2] += a * x4[2]
+		y4[3] += a * x4[3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// AxpyPair computes y += a*x and v += b*u in one sweep — the solver's fused
+// iterand/residual update (x += α·p, r −= α·q). All four slices must have
+// equal length; the updates are elementwise, so results are bitwise
+// identical to two Axpy calls.
+func AxpyPair(a float64, x, y []float64, b float64, u, v []float64) {
+	for i := range x {
+		y[i] += a * x[i]
+		v[i] += b * u[i]
 	}
 }
 

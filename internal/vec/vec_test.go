@@ -2,6 +2,7 @@ package vec
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -163,5 +164,71 @@ func TestNormProperties(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// referenceDot is the naive single-statement loop the unrolled kernels must
+// reproduce bit for bit.
+func referenceDot(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// TestFusedKernelsBitwiseIdentical pins the fused/unrolled kernels (Dot,
+// Dot2, Dot3, Axpy, AxpyPair) to the naive loops with exact == comparisons
+// across awkward lengths (remainder handling) and adversarial values where
+// a reordered summation would differ in the last ulp.
+func TestFusedKernelsBitwiseIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 100, 1023} {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		z := make([]float64, n)
+		for i := 0; i < n; i++ {
+			// Mixed magnitudes make float addition order-sensitive.
+			x[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(16)-8))
+			y[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(16)-8))
+			z[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(16)-8))
+		}
+		if got, want := Dot(x, y), referenceDot(x, y); got != want {
+			t.Fatalf("n=%d: Dot %v != naive %v", n, got, want)
+		}
+		xy, xx := Dot2(x, y)
+		if xy != referenceDot(x, y) || xx != referenceDot(x, x) {
+			t.Fatalf("n=%d: Dot2 (%v,%v) != naive (%v,%v)", n, xy, xx, referenceDot(x, y), referenceDot(x, x))
+		}
+		xy3, zy3, xx3 := Dot3(x, y, z)
+		if xy3 != referenceDot(x, y) || zy3 != referenceDot(z, y) || xx3 != referenceDot(x, x) {
+			t.Fatalf("n=%d: Dot3 mismatch", n)
+		}
+
+		a, b := 0.7381, -1.2941
+		y1 := append([]float64(nil), y...)
+		y2 := append([]float64(nil), y...)
+		Axpy(a, x, y1)
+		for i := range y2 {
+			y2[i] += a * x[i]
+		}
+		for i := range y1 {
+			if y1[i] != y2[i] {
+				t.Fatalf("n=%d: Axpy[%d] %v != naive %v", n, i, y1[i], y2[i])
+			}
+		}
+
+		p1 := append([]float64(nil), y...)
+		v1 := append([]float64(nil), z...)
+		p2 := append([]float64(nil), y...)
+		v2 := append([]float64(nil), z...)
+		AxpyPair(a, x, p1, b, x, v1)
+		Axpy(a, x, p2)
+		Axpy(b, x, v2)
+		for i := range p1 {
+			if p1[i] != p2[i] || v1[i] != v2[i] {
+				t.Fatalf("n=%d: AxpyPair[%d] (%v,%v) != (%v,%v)", n, i, p1[i], v1[i], p2[i], v2[i])
+			}
+		}
 	}
 }
