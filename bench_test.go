@@ -488,32 +488,35 @@ func BenchmarkAblationResidualReplacement(b *testing.B) {
 
 // BenchmarkHostSolve measures the host-side cost of the simulator itself —
 // wall-clock ns/op and allocs/op of one fixed-length solve — the figure the
-// zero-allocation hot path optimizes. Fixed MaxIter + unreachable Rtol makes
-// the run length independent of convergence, so the metric is a pure
-// data-path cost. BENCH_PR4.json records these numbers run over run.
+// zero-allocation hot path and the structure-aware kernels optimize. Fixed
+// MaxIter + unreachable Rtol makes the run length independent of
+// convergence, so the metric is a pure data-path cost. The default cases run
+// the kernel planner (auto); the kernel=* cases force each layout on the
+// reference strategy for the attribution. BENCH_PR5.json records these
+// numbers run over run.
 func BenchmarkHostSolve(b *testing.B) {
 	a := benchEmilia()
 	rhs := esrp.RHSOnes(a.Rows)
-	for _, sub := range []struct {
-		name string
-		cfg  esrp.Config
-	}{
-		{"none", esrp.Config{A: a, B: rhs, Nodes: benchNodes, MaxIter: 60, Rtol: 1e-30}},
-		{"esr", esrp.Config{A: a, B: rhs, Nodes: benchNodes, MaxIter: 60, Rtol: 1e-30,
-			Strategy: esrp.StrategyESR, Phi: 1}},
-		{"esrp-T20", esrp.Config{A: a, B: rhs, Nodes: benchNodes, MaxIter: 60, Rtol: 1e-30,
-			Strategy: esrp.StrategyESRP, T: 20, Phi: 1}},
-		{"imcr-T20", esrp.Config{A: a, B: rhs, Nodes: benchNodes, MaxIter: 60, Rtol: 1e-30,
-			Strategy: esrp.StrategyIMCR, T: 20, Phi: 1}},
-	} {
-		b.Run(sub.name, func(b *testing.B) {
+	run := func(name string, cfg esrp.Config) {
+		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := esrp.Solve(sub.cfg); err != nil {
+				if _, err := esrp.Solve(cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+	run("none", esrp.Config{A: a, B: rhs, Nodes: benchNodes, MaxIter: 60, Rtol: 1e-30})
+	run("esr", esrp.Config{A: a, B: rhs, Nodes: benchNodes, MaxIter: 60, Rtol: 1e-30,
+		Strategy: esrp.StrategyESR, Phi: 1})
+	run("esrp-T20", esrp.Config{A: a, B: rhs, Nodes: benchNodes, MaxIter: 60, Rtol: 1e-30,
+		Strategy: esrp.StrategyESRP, T: 20, Phi: 1})
+	run("imcr-T20", esrp.Config{A: a, B: rhs, Nodes: benchNodes, MaxIter: 60, Rtol: 1e-30,
+		Strategy: esrp.StrategyIMCR, T: 20, Phi: 1})
+	for _, kind := range []esrp.KernelKind{esrp.KernelCSR, esrp.KernelSellC, esrp.KernelBand} {
+		run("kernel="+kind.String(), esrp.Config{A: a, B: rhs, Nodes: benchNodes,
+			MaxIter: 60, Rtol: 1e-30, Kernel: kind})
 	}
 }
 

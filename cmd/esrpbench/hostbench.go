@@ -5,16 +5,24 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
 	"esrp"
 )
 
+// hostBenchFile is the export this tree's -hostbench writes. Bump the PR
+// number alongside each performance PR: the chaining below picks up the
+// newest lower-numbered BENCH_PR*.json automatically, so the trajectory
+// stays machine-readable without hand-wiring file names.
+const hostBenchFile = "BENCH_PR5.json"
+
 // HostMetric is one host-side performance measurement: wall-clock and
 // allocation cost per operation, plus sweep throughput for the campaign
-// row. These are the numbers the zero-allocation hot path optimizes — the
+// row. These are the numbers the structure-aware kernels optimize — the
 // simulated (LogGP) figures in the same exports are bitwise invariant.
 type HostMetric struct {
 	Name        string  `json:"name"`
@@ -24,32 +32,43 @@ type HostMetric struct {
 	CellsPerSec float64 `json:"cells_per_sec,omitempty"` // campaign rows only
 }
 
-// HostBenchReport is the BENCH_PR4.json schema: the current tree's numbers
-// ("optimized") next to a reference tree's ("baseline", carried over from a
-// previous export via -host-baseline), starting the host-side performance
-// trajectory.
+// HostBenchReport is the BENCH_PR<N>.json schema: the current tree measured
+// under the forced scalar-CSR kernel ("baseline", the PR 4 data path) and
+// under the planner ("optimized", kernel=auto), plus the previous PR's
+// optimized rows carried over from the newest lower-numbered BENCH_PR*.json
+// ("previous") so the perf trajectory chains across PRs.
 type HostBenchReport struct {
-	GoVersion  string       `json:"go_version"`
-	GoMaxProcs int          `json:"gomaxprocs"`
-	Note       string       `json:"note,omitempty"`
-	Baseline   []HostMetric `json:"baseline,omitempty"`
-	Optimized  []HostMetric `json:"optimized"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Note       string `json:"note,omitempty"`
+
+	BaselineKernel  string `json:"baseline_kernel"`
+	OptimizedKernel string `json:"optimized_kernel"`
+
+	PreviousFile string       `json:"previous_file,omitempty"`
+	Previous     []HostMetric `json:"previous,omitempty"`
+	Baseline     []HostMetric `json:"baseline"`
+	Optimized    []HostMetric `json:"optimized"`
 }
 
-// hostBenchCases mirrors bench_test.go's BenchmarkHostSolve fixtures: the
-// reduced-scale Emilia analog, 16 nodes, fixed 60 iterations (unreachable
-// tolerance) so the measured cost is the pure data path.
+// hostBenchCases mirrors bench_test.go's BenchmarkHostSolve fixtures — the
+// reduced-scale Emilia analog plus the denser audikw analog, 16 nodes, fixed
+// 60 iterations (unreachable tolerance) so the measured cost is the pure
+// data path.
 func hostBenchCases() []struct {
 	name string
 	cfg  esrp.Config
 } {
-	a := esrp.EmiliaLike(16, 16, 16, 923)
-	rhs := esrp.RHSOnes(a.Rows)
-	fixed := esrp.Config{A: a, B: rhs, Nodes: 16, MaxIter: 60, Rtol: 1e-30}
+	emilia := esrp.EmiliaLike(16, 16, 16, 923)
+	audikw := esrp.AudikwLike(10, 10, 10, 3, 944)
+	fixed := esrp.Config{A: emilia, B: esrp.RHSOnes(emilia.Rows), Nodes: 16, MaxIter: 60, Rtol: 1e-30}
 	esr, esrpT20, imcr := fixed, fixed, fixed
 	esr.Strategy, esr.Phi = esrp.StrategyESR, 1
 	esrpT20.Strategy, esrpT20.T, esrpT20.Phi = esrp.StrategyESRP, 20, 1
 	imcr.Strategy, imcr.T, imcr.Phi = esrp.StrategyIMCR, 20, 1
+	audi := esrp.Config{A: audikw, B: esrp.RHSOnes(audikw.Rows), Nodes: 16, MaxIter: 60, Rtol: 1e-30}
+	audiESRP := audi
+	audiESRP.Strategy, audiESRP.T, audiESRP.Phi = esrp.StrategyESRP, 20, 1
 	return []struct {
 		name string
 		cfg  esrp.Config
@@ -58,16 +77,19 @@ func hostBenchCases() []struct {
 		{"solve/esr", esr},
 		{"solve/esrp-T20", esrpT20},
 		{"solve/imcr-T20", imcr},
+		{"solve/audikw-none", audi},
+		{"solve/audikw-esrp-T20", audiESRP},
 	}
 }
 
-// runHostBench measures the host-side suite with testing.Benchmark and
+// runHostBench measures the host-side suite under the given kernel and
 // returns the metric rows (solve cases plus the campaign sweep).
-func runHostBench() []HostMetric {
+func runHostBench(kernel esrp.KernelKind) []HostMetric {
 	var out []HostMetric
 	for _, c := range hostBenchCases() {
 		cfg := c.cfg
-		fmt.Fprintf(os.Stderr, "esrpbench: hostbench %s...\n", c.name)
+		cfg.Kernel = kernel
+		fmt.Fprintf(os.Stderr, "esrpbench: hostbench %s kernel=%v...\n", c.name, kernel)
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -92,8 +114,9 @@ func runHostBench() []HostMetric {
 		Phis:       []int{1},
 		Seeds:      []int64{1, 2},
 		Scenario:   esrp.FailureScenario{Model: esrp.ScenarioExponential, MTBF: 500, Horizon: 80},
+		Kernel:     kernel,
 	}
-	fmt.Fprintln(os.Stderr, "esrpbench: hostbench campaign sweep...")
+	fmt.Fprintf(os.Stderr, "esrpbench: hostbench campaign sweep kernel=%v...\n", kernel)
 	cells := 0
 	start := time.Now()
 	r := testing.Benchmark(func(b *testing.B) {
@@ -118,28 +141,67 @@ func runHostBench() []HostMetric {
 	return out
 }
 
-// writeHostBench runs the suite and writes BENCH_PR4.json into dir. When
-// baselinePath names a previous export, its "optimized" rows become this
-// export's "baseline" — so each perf PR chains onto the last one's numbers.
+var benchPRFile = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+// latestBenchFile finds the newest BENCH_PR*.json below the current export's
+// number in dir, so each perf PR chains onto the last one's measured rows
+// without hand-updating any flag or workflow.
+func latestBenchFile(dir string) (string, bool) {
+	cur := 0
+	if m := benchPRFile.FindStringSubmatch(hostBenchFile); m != nil {
+		cur, _ = strconv.Atoi(m[1])
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", false
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := benchPRFile.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		if n < cur && n > bestN {
+			best, bestN = filepath.Join(dir, e.Name()), n
+		}
+	}
+	return best, bestN >= 0
+}
+
+// writeHostBench runs the suite twice — kernel=csr as the baseline (the
+// PR 4 data path) and kernel=auto as the optimized rows — and writes
+// BENCH_PR<N>.json into dir. The previous PR's export (baselinePath, or the
+// newest lower-numbered BENCH_PR*.json in the working directory when empty)
+// contributes its optimized rows as the "previous" chain link.
 func writeHostBench(dir, baselinePath, note string) (string, error) {
 	rep := HostBenchReport{
-		GoVersion:  runtime.Version(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Note:       note,
-		Optimized:  runHostBench(),
+		GoVersion:       runtime.Version(),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		Note:            note,
+		BaselineKernel:  esrp.KernelCSR.String(),
+		OptimizedKernel: esrp.KernelAuto.String(),
+		Baseline:        runHostBench(esrp.KernelCSR),
+		Optimized:       runHostBench(esrp.KernelAuto),
+	}
+	if baselinePath == "" {
+		if found, ok := latestBenchFile("."); ok {
+			baselinePath = found
+		}
 	}
 	if baselinePath != "" {
 		data, err := os.ReadFile(baselinePath)
 		if err != nil {
 			return "", fmt.Errorf("reading baseline: %w", err)
 		}
-		var base HostBenchReport
-		if err := json.Unmarshal(data, &base); err != nil {
+		var prev HostBenchReport
+		if err := json.Unmarshal(data, &prev); err != nil {
 			return "", fmt.Errorf("parsing baseline: %w", err)
 		}
-		rep.Baseline = base.Optimized
+		rep.PreviousFile = filepath.Base(baselinePath)
+		rep.Previous = prev.Optimized
 	}
-	path := filepath.Join(dir, "BENCH_PR4.json")
+	path := filepath.Join(dir, hostBenchFile)
 	f, err := os.Create(path)
 	if err != nil {
 		return "", err

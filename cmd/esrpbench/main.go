@@ -53,11 +53,12 @@ func main() {
 		ts      = flag.String("ts", "1,20,50,100", "comma-separated checkpoint intervals T")
 		reps    = flag.Int("reps", 1, "repetitions per setting (median reported)")
 		rtol    = flag.Float64("rtol", 1e-8, "outer relative tolerance")
+		kernel  = flag.String("kernel", "auto", "SpMV kernel layout: auto|csr|sellc|band (simulated figures are bit-identical under every choice)")
 		jsonDir = flag.String("json-dir", ".", "directory for the BENCH_<name>.json exports (\"\" = disabled)")
 
-		hostbench    = flag.Bool("hostbench", false, "measure host-side performance (ns/op, allocs/op, campaign cells/sec) and write BENCH_PR4.json to -json-dir")
-		hostBaseline = flag.String("host-baseline", "", "previous BENCH_PR4.json whose optimized rows become this export's baseline")
-		hostNote     = flag.String("host-note", "", "free-form note recorded in the BENCH_PR4.json export")
+		hostbench    = flag.Bool("hostbench", false, "measure host-side performance (ns/op, allocs/op, campaign cells/sec; kernel=csr baseline vs kernel=auto) and write "+hostBenchFile+" to -json-dir")
+		hostBaseline = flag.String("host-baseline", "", "previous BENCH_PR*.json to chain from (\"\" = newest BENCH_PR*.json in the current directory)")
+		hostNote     = flag.String("host-note", "", "free-form note recorded in the "+hostBenchFile+" export")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -77,7 +78,7 @@ func main() {
 
 	if *hostbench {
 		if *jsonDir == "" {
-			fatalf("-hostbench writes BENCH_PR4.json and needs a -json-dir (got the disabled value \"\")")
+			fatalf("-hostbench writes %s and needs a -json-dir (got the disabled value \"\")", hostBenchFile)
 		}
 		path, err := writeHostBench(*jsonDir, *hostBaseline, *hostNote)
 		if err != nil {
@@ -101,7 +102,12 @@ func main() {
 		fatalf("bad -ts: %v", err)
 	}
 
-	g := generator{nodes: *nodes, scale: *scale, phis: phiList, ts: tList, reps: *reps, rtol: *rtol, jsonDir: *jsonDir}
+	kk, err := esrp.ParseKernel(*kernel)
+	if err != nil {
+		fatalf("bad -kernel: %v", err)
+	}
+
+	g := generator{nodes: *nodes, scale: *scale, phis: phiList, ts: tList, reps: *reps, rtol: *rtol, kernel: kk, jsonDir: *jsonDir}
 
 	want := func(t, f int) bool {
 		if *all {
@@ -167,6 +173,7 @@ type generator struct {
 	nodes, scale, reps int
 	phis, ts           []int
 	rtol               float64
+	kernel             esrp.KernelKind
 	jsonDir            string
 }
 
@@ -201,6 +208,7 @@ func (g generator) run(name string, a *esrp.CSR) *esrp.ExperimentReport {
 		Phis:   g.phis,
 		Reps:   g.reps,
 		Rtol:   g.rtol,
+		Kernel: g.kernel,
 	})
 	hostNs := time.Since(start).Nanoseconds()
 	runtime.ReadMemStats(&m1)

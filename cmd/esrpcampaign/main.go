@@ -58,6 +58,7 @@ func main() {
 		rtol    = flag.Float64("rtol", 1e-8, "outer relative tolerance")
 		maxIter = flag.Int("maxiter", 0, "iteration cap (0 = solver default)")
 		workers = flag.Int("workers", 0, "concurrent cells on the host (0 = GOMAXPROCS)")
+		kernel  = flag.String("kernel", "auto", "SpMV kernel layout: auto|csr|sellc|band (cells and JSON are bit-identical under every choice)")
 
 		jsonPath = flag.String("json", "-", "JSON output path (- = stdout)")
 		csvPath  = flag.String("csv", "", "optional CSV output path (one row per cell)")
@@ -85,6 +86,7 @@ func main() {
 		model: *model, mtbf: *mtbf, shape: *shape, horizon: *horizon,
 		group: *group, groupProb: *groupProb, maxEvents: *maxEvents, events: *events,
 		spares: *spares, rtol: *rtol, maxIter: *maxIter, workers: *workers,
+		kernel: *kernel,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -132,6 +134,7 @@ type gridFlags struct {
 	rtol       float64
 	maxIter    int
 	workers    int
+	kernel     string
 }
 
 func buildGrid(f gridFlags) (*esrp.CampaignGrid, error) {
@@ -190,6 +193,11 @@ func buildGrid(f gridFlags) (*esrp.CampaignGrid, error) {
 		}
 	}
 
+	kernel, err := esrp.ParseKernel(f.kernel)
+	if err != nil {
+		return nil, err
+	}
+
 	return &esrp.CampaignGrid{
 		Matrices:   matrices,
 		Nodes:      nodes,
@@ -202,6 +210,7 @@ func buildGrid(f gridFlags) (*esrp.CampaignGrid, error) {
 		Rtol:       f.rtol,
 		MaxIter:    f.maxIter,
 		Workers:    f.workers,
+		Kernel:     kernel,
 	}, nil
 }
 

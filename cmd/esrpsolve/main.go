@@ -43,6 +43,7 @@ func main() {
 		rtol     = flag.Float64("rtol", 1e-8, "relative residual tolerance")
 		precond  = flag.String("precond", "blockjacobi", "preconditioner: none|jacobi|blockjacobi|ic0")
 		maxBlock = flag.Int("maxblock", 10, "block Jacobi maximum block size")
+		kernel   = flag.String("kernel", "auto", "SpMV kernel layout: auto|csr|sellc|band (auto = planner; trajectories are identical under every choice)")
 
 		failIter  = flag.Int("fail-iter", -1, "iteration to inject a node failure at (-1 = none)")
 		failRanks = flag.String("fail-ranks", "0", "comma-separated contiguous ranks that fail")
@@ -70,11 +71,15 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	kk, err := esrp.ParseKernel(*kernel)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	cfg := esrp.Config{
 		A: a, B: esrp.RHSOnes(a.Rows), Nodes: *nodes,
 		Strategy: strat, T: *tInt, Phi: *phi,
-		Rtol: *rtol, PrecondKind: pk, MaxBlock: *maxBlock,
+		Rtol: *rtol, PrecondKind: pk, MaxBlock: *maxBlock, Kernel: kk,
 		RecordResiduals:             *verbose,
 		NoSpareNodes:                *noSpare,
 		BalanceNNZ:                  *balance,
@@ -129,6 +134,7 @@ func main() {
 	if *verbose {
 		fmt.Printf("traffic: %d messages, %d payload bytes (%d halo)\n", res.MsgsSent, res.BytesSent, res.HaloBytes)
 		fmt.Printf("per-node memory: %d bytes max (O(local+halo))\n", res.MaxNodeBytes)
+		fmt.Printf("spmv kernels (%s): %s\n", *kernel, esrp.CondenseKernels(res.Kernels))
 		fmt.Printf("recorded %d residuals\n", len(res.Residuals))
 	}
 	if !res.Converged {

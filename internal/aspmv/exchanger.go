@@ -18,12 +18,22 @@ type localView struct {
 	sendIdx      [][]int // per Send transfer: owned-local indices (global − lo)
 	extraSendIdx [][]int // per ExtraSend transfer: owned-local indices
 
+	// sendContig/extraSendContig cache, per transfer, the start of its index
+	// run when the indices are contiguous (-1 otherwise): those transfers —
+	// whole-block ships under slab partitions — skip the per-entry gather.
+	sendContig      []int
+	extraSendContig []int
+
 	// Augmented-exchange layout: the ReceivedCopy of one ASpMV always holds
 	// the same (sorted) global indices, so the index slice and the position
 	// of every incoming transfer element within it are precomputed. This is
 	// what retires the per-iteration sortCopy and its allocation churn.
 	copyIdx []int   // sorted global indices of the ReceivedCopy (plain + extra)
 	copyPos [][]int // per Recv ⧺ ExtraRecv transfer: positions within copyIdx
+	// copyContig caches, per transfer, the start of its position run when
+	// the positions are contiguous (-1 otherwise): the scatter then becomes
+	// one copy.
+	copyContig []int
 }
 
 // buildViews (re)derives the per-rank local views. Called at the end of
@@ -49,20 +59,24 @@ func (p *Plan) buildViews() {
 			v.ghost = append(v.ghost, t.Idx...)
 		}
 		v.sendIdx = make([][]int, len(p.Send[s]))
+		v.sendContig = make([]int, len(p.Send[s]))
 		for ti, t := range p.Send[s] {
 			idx := make([]int, len(t.Idx))
 			for k, gi := range t.Idx {
 				idx[k] = gi - lo
 			}
 			v.sendIdx[ti] = idx
+			v.sendContig[ti] = contiguousStart(idx)
 		}
 		v.extraSendIdx = make([][]int, len(extraSend))
+		v.extraSendContig = make([]int, len(extraSend))
 		for ti, t := range extraSend {
 			idx := make([]int, len(t.Idx))
 			for k, gi := range t.Idx {
 				idx[k] = gi - lo
 			}
 			v.extraSendIdx[ti] = idx
+			v.extraSendContig[ti] = contiguousStart(idx)
 		}
 		// Copy layout: plain ghost entries plus resilient copies, sorted.
 		// The sets are disjoint (Augment never re-ships an entry the product
@@ -81,10 +95,17 @@ func (p *Plan) buildViews() {
 		for _, transfers := range [][]Transfer{p.Recv[s], extraRecv} {
 			for _, t := range transfers {
 				pos := make([]int, len(t.Idx))
+				// Transfer indices and the copy layout are both sorted, so
+				// the positions fall out of one forward merge.
+				cp := 0
 				for k, gi := range t.Idx {
-					pos[k] = sort.SearchInts(v.copyIdx, gi)
+					for cp < len(v.copyIdx) && v.copyIdx[cp] < gi {
+						cp++
+					}
+					pos[k] = cp
 				}
 				v.copyPos = append(v.copyPos, pos)
+				v.copyContig = append(v.copyContig, contiguousStart(pos))
 			}
 		}
 	}
@@ -164,10 +185,18 @@ func (ex *Exchanger) HaloBytes() int64 { return ex.haloBytes }
 func (ex *Exchanger) AddHaloBytes(n int64) { ex.haloBytes += n }
 
 // postSends gathers and ships the owned entries of xOwn for one transfer
-// list. xOwn is the node's owned block (length m).
-func (ex *Exchanger) postSends(nd *cluster.Node, xOwn []float64, transfers []Transfer, idxs [][]int, tag int) {
+// list. xOwn is the node's owned block (length m). Contiguous index runs —
+// the whole block, for slab partitions — skip the per-entry gather and ship
+// straight out of xOwn (ISend copies the payload before returning).
+func (ex *Exchanger) postSends(nd *cluster.Node, xOwn []float64, transfers []Transfer, idxs [][]int, contig []int, tag int) {
 	for ti, t := range transfers {
 		idx := idxs[ti]
+		if c := contig[ti]; c >= 0 {
+			seg := xOwn[c : c+len(idx)]
+			nd.ISend(t.Peer, tag, seg)
+			ex.haloBytes += int64(8 * len(seg))
+			continue
+		}
 		buf := ex.sendBuf[:len(idx)]
 		for k, i := range idx {
 			buf[k] = xOwn[i]
@@ -175,6 +204,20 @@ func (ex *Exchanger) postSends(nd *cluster.Node, xOwn []float64, transfers []Tra
 		nd.ISend(t.Peer, tag, buf)
 		ex.haloBytes += int64(8 * len(buf))
 	}
+}
+
+// contiguousStart returns the first element of idx when it is a contiguous
+// ascending run (idx[k] = idx[0]+k), else -1.
+func contiguousStart(idx []int) int {
+	if len(idx) == 0 {
+		return -1
+	}
+	for k, v := range idx {
+		if v != idx[0]+k {
+			return -1
+		}
+	}
+	return idx[0]
 }
 
 // Start posts the plain halo exchange: sends of the owned entries consumers
@@ -185,7 +228,7 @@ func (ex *Exchanger) Start(nd *cluster.Node, xOwn []float64) {
 		panic("aspmv: Start while an exchange is in flight")
 	}
 	v := &ex.p.views[ex.s]
-	ex.postSends(nd, xOwn, ex.p.Send[ex.s], v.sendIdx, TagHalo)
+	ex.postSends(nd, xOwn, ex.p.Send[ex.s], v.sendIdx, v.sendContig, TagHalo)
 	ex.reqs = ex.reqs[:0]
 	for _, t := range ex.p.Recv[ex.s] {
 		ex.reqs = append(ex.reqs, nd.IRecv(t.Peer, TagHalo))
@@ -203,8 +246,8 @@ func (ex *Exchanger) StartAugmented(nd *cluster.Node, xOwn []float64) {
 		panic("aspmv: StartAugmented while an exchange is in flight")
 	}
 	v := &ex.p.views[ex.s]
-	ex.postSends(nd, xOwn, ex.p.Send[ex.s], v.sendIdx, TagHalo)
-	ex.postSends(nd, xOwn, ex.p.ExtraSend[ex.s], v.extraSendIdx, TagExtra)
+	ex.postSends(nd, xOwn, ex.p.Send[ex.s], v.sendIdx, v.sendContig, TagHalo)
+	ex.postSends(nd, xOwn, ex.p.ExtraSend[ex.s], v.extraSendIdx, v.extraSendContig, TagExtra)
 	ex.reqs = ex.reqs[:0]
 	for _, t := range ex.p.Recv[ex.s] {
 		ex.reqs = append(ex.reqs, nd.IRecv(t.Peer, TagHalo))
@@ -248,8 +291,12 @@ func (ex *Exchanger) FinishAugmented(nd *cluster.Node, ghost []float64, iter int
 		if ti < nPlain {
 			copy(ghost[v.recvOff[ti]:], vals)
 		}
-		for k, pos := range v.copyPos[ti] {
-			val[pos] = vals[k]
+		if c := v.copyContig[ti]; c >= 0 {
+			copy(val[c:c+len(vals)], vals)
+		} else {
+			for k, pos := range v.copyPos[ti] {
+				val[pos] = vals[k]
+			}
 		}
 		nd.Release(vals) // scattered into ghost + val: recycle
 	}

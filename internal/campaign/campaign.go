@@ -60,6 +60,7 @@ type Grid struct {
 	MaxIter   int     // iteration cap (0 = solver default)
 	MaxBlock  int     // block Jacobi bound (default 10)
 	Precond   precond.Kind
+	Kernel    sparse.KernelKind // SpMV layout for every cell (zero = planner)
 	CostModel *cluster.CostModel
 
 	// Workers bounds the number of cells solved concurrently on the host
@@ -92,6 +93,7 @@ type Cell struct {
 	HaloBytes    int64                `json:"halo_bytes"`
 	BytesSent    int64                `json:"bytes_sent"`
 	ActiveNodes  int                  `json:"active_nodes"`
+	Kernels      string               `json:"kernels,omitempty"` // condensed per-node SpMV layouts
 	Recoveries   []core.RecoveryEvent `json:"recoveries,omitempty"`
 
 	Err string `json:"error,omitempty"` // non-empty: the cell failed to run
@@ -375,6 +377,7 @@ func (g Grid) prepareContexts(cells []Cell, matrices map[string]MatrixSpec) map[
 					Strategy: strat, T: c.T, Phi: c.Phi,
 					Rtol: g.Rtol, MaxIter: g.MaxIter,
 					PrecondKind: g.Precond, MaxBlock: g.MaxBlock,
+					Kernel: g.Kernel,
 				})
 				if err != nil {
 					prep = nil // cells fall back to per-cell setup and surface the error
@@ -433,6 +436,7 @@ func (g Grid) runCell(c *Cell, m MatrixSpec, prep *core.Prepared, ws *core.Works
 		Strategy: strat, T: c.T, Phi: c.Phi,
 		Rtol: g.Rtol, MaxIter: g.MaxIter,
 		PrecondKind: g.Precond, MaxBlock: g.MaxBlock,
+		Kernel:    g.Kernel,
 		CostModel: g.CostModel,
 		Failures:  events,
 		Prepared:  prep,
@@ -458,6 +462,7 @@ func (g Grid) runCell(c *Cell, m MatrixSpec, prep *core.Prepared, ws *core.Works
 	c.HaloBytes = res.HaloBytes
 	c.BytesSent = res.BytesSent
 	c.ActiveNodes = res.ActiveNodes
+	c.Kernels = core.CondenseKernels(res.Kernels)
 	c.Recoveries = res.Events
 }
 

@@ -3,6 +3,8 @@ package core
 import (
 	"runtime/debug"
 	"testing"
+
+	"esrp/internal/sparse"
 )
 
 // perIterationAllocs measures the marginal heap allocations of one extra CG
@@ -49,12 +51,15 @@ func perIterationAllocs(t *testing.T, mut func(*Config)) float64 {
 // heap allocations per iteration across the strategies: the plain loop, the
 // every-iteration augmented exchange of ESR (ReceivedCopy retention through
 // the recycle pool), ESRP's periodic storage stages, and IMCR's buddy
-// checkpoints (payload buffers reused, superseded ones released).
+// checkpoints (payload buffers reused, superseded ones released). The whole
+// table runs once per forced SpMV kernel on top of the suite's default
+// (ESRP_TEST_KERNEL or auto), so no storage layout can smuggle a
+// per-iteration allocation into the product path.
 func TestSolveIterationZeroAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race detector instrumentation allocates; gate runs in the non-race job")
 	}
-	for _, sub := range []struct {
+	strategies := []struct {
 		name string
 		mut  func(*Config)
 	}{
@@ -62,16 +67,29 @@ func TestSolveIterationZeroAlloc(t *testing.T) {
 		{"esr", func(cfg *Config) { cfg.Strategy = StrategyESR; cfg.Phi = 1 }},
 		{"esrp-T10", func(cfg *Config) { cfg.Strategy = StrategyESRP; cfg.T = 10; cfg.Phi = 1 }},
 		{"imcr-T10", func(cfg *Config) { cfg.Strategy = StrategyIMCR; cfg.T = 10; cfg.Phi = 1 }},
-	} {
-		t.Run(sub.name, func(t *testing.T) {
-			// A genuine leak shows up at ≥ 1 alloc per iteration (1.0) or per
-			// checkpoint stage (≥ 0.1 at T=10); the threshold tolerates only
-			// the ±1-per-solve constant of runtime internals (goroutine park
-			// bookkeeping) that the fixed-length delta cannot fully cancel.
-			if per := perIterationAllocs(t, sub.mut); per > 0.02 {
-				t.Fatalf("steady-state CG iteration allocates %.2f times (want 0)", per)
-			}
-		})
+	}
+	kernels := []sparse.KernelKind{testKernel(t)}
+	for _, kind := range []sparse.KernelKind{sparse.KernelCSR, sparse.KernelSellC, sparse.KernelBand} {
+		if kind != kernels[0] {
+			kernels = append(kernels, kind)
+		}
+	}
+	for _, kind := range kernels {
+		for _, sub := range strategies {
+			t.Run(kind.String()+"/"+sub.name, func(t *testing.T) {
+				mut := func(cfg *Config) {
+					cfg.Kernel = kind
+					sub.mut(cfg)
+				}
+				// A genuine leak shows up at ≥ 1 alloc per iteration (1.0) or per
+				// checkpoint stage (≥ 0.1 at T=10); the threshold tolerates only
+				// the ±1-per-solve constant of runtime internals (goroutine park
+				// bookkeeping) that the fixed-length delta cannot fully cancel.
+				if per := perIterationAllocs(t, mut); per > 0.02 {
+					t.Fatalf("steady-state CG iteration allocates %.2f times (want 0)", per)
+				}
+			})
+		}
 	}
 }
 

@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"esrp/internal/cluster"
@@ -98,6 +99,16 @@ type Config struct {
 
 	PrecondKind precond.Kind // paper: block Jacobi
 	MaxBlock    int          // block Jacobi maximum block size (paper: 10)
+
+	// Kernel selects the storage layout of the local SpMV. The zero value
+	// KernelAuto lets the Prepare-time planner inspect each node's interior
+	// and boundary row blocks and pick per block (constant-band for stencil
+	// runs, SELL-C for regular-width blocks, scalar CSR otherwise); the
+	// forced kinds exist for ablation and irregular inputs. Every kind
+	// computes identical per-row sums in identical order, so trajectories,
+	// the simulated clock and all traffic counters are bitwise invariant
+	// under this knob — only host wall-clock changes.
+	Kernel sparse.KernelKind
 
 	Strategy Strategy
 	T        int // checkpointing interval (ignored for None/ESR)
@@ -233,6 +244,9 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.PrecondKind == precond.Default {
 		cfg.PrecondKind = precond.BlockJacobi // the paper's choice
+	}
+	if !cfg.Kernel.Valid() {
+		return cfg, fmt.Errorf("core: invalid SpMV kernel kind %d", int(cfg.Kernel))
 	}
 	if cfg.InnerRtol <= 0 {
 		cfg.InnerRtol = 1e-14
@@ -411,5 +425,40 @@ type Result struct {
 	// over nodes — as opposed to the planned volume of aspmv.ExtraTraffic.
 	HaloBytes int64
 
+	// Kernels holds each node's SpMV kernel layout ("csr", "sellc", "band",
+	// or a mixed interior+boundary pair) as chosen by Config.Kernel and, for
+	// KernelAuto, the Prepare-time planner. Condense for display with
+	// CondenseKernels. Purely host-side metadata: the choice never affects
+	// trajectories or the simulated clock.
+	Kernels []string
+
 	Residuals []float64 // per-iteration ‖r‖/‖b‖ if RecordResiduals
+}
+
+// CondenseKernels condenses per-node kernel layout names (Result.Kernels)
+// into a compact "name×count" display, counts in first-seen node order:
+// e.g. "band+sellc×14, csr×2".
+func CondenseKernels(names []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	counts := make(map[string]int, 4)
+	var order []string
+	for _, n := range names {
+		if counts[n] == 0 {
+			order = append(order, n)
+		}
+		counts[n]++
+	}
+	if len(names) == 1 {
+		return names[0]
+	}
+	var b strings.Builder
+	for i, n := range order {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s×%d", n, counts[n])
+	}
+	return b.String()
 }

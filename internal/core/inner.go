@@ -55,7 +55,7 @@ func (run *nodeRun) innerSolve(failed []int, flo, fhi int, w []float64) {
 	if err != nil {
 		panic(fmt.Sprintf("core: inner plan: %v", err))
 	}
-	x, halo := innerPCG(sub, asub, iplan, ipart, run.pc, w, run.cfg.InnerRtol, maxIter, run.cfg.BlockingExchange)
+	x, halo := innerPCG(sub, asub, iplan, ipart, run.pc, w, run.cfg.InnerRtol, maxIter, run.cfg.BlockingExchange, run.cfg.Kernel)
 	run.ex.AddHaloBytes(halo) // the reconstruction's SpMV halo counts too
 	copy(run.x, x)
 }
@@ -80,7 +80,7 @@ func (run *nodeRun) innerSolveGathered(sub *cluster.Node, asub *sparse.CSR, ipar
 			panic(fmt.Sprintf("core: sequential inner preconditioner: %v", err))
 		}
 		solo := sub.Sub([]int{sub.GlobalRank()})
-		xall, _ := innerPCG(solo, asub, seqPlan, seqPart, pc, ball, run.cfg.InnerRtol, maxIter, run.cfg.BlockingExchange)
+		xall, _ := innerPCG(solo, asub, seqPlan, seqPart, pc, ball, run.cfg.InnerRtol, maxIter, run.cfg.BlockingExchange, run.cfg.Kernel)
 		copy(run.x, xall[ipart.Lo(0):ipart.Hi(0)])
 		for s := 1; s < sub.Size(); s++ {
 			sub.Send(s, tagInnerGather, xall[ipart.Lo(s):ipart.Hi(s)])
@@ -99,7 +99,7 @@ func (run *nodeRun) innerSolveGathered(sub *cluster.Node, asub *sparse.CSR, ipar
 // product overlapping the in-flight halo (unless blocking). The second
 // return value is the halo payload this rank shipped during the solve, for
 // the caller to fold into its measured-halo counter.
-func innerPCG(nd *cluster.Node, a *sparse.CSR, plan *aspmv.Plan, ipart *dist.Partition, pc precond.Preconditioner, b []float64, rtol float64, maxIter int, blocking bool) ([]float64, int64) {
+func innerPCG(nd *cluster.Node, a *sparse.CSR, plan *aspmv.Plan, ipart *dist.Partition, pc precond.Preconditioner, b []float64, rtol float64, maxIter int, blocking bool, kind sparse.KernelKind) ([]float64, int64) {
 	me := nd.Rank()
 	lo, hi := ipart.Lo(me), ipart.Hi(me)
 	m := hi - lo
@@ -107,8 +107,8 @@ func innerPCG(nd *cluster.Node, a *sparse.CSR, plan *aspmv.Plan, ipart *dist.Par
 	if err != nil {
 		panic(fmt.Sprintf("core: inner local matrix: %v", err))
 	}
+	kern := sparse.BuildKernel(local, kind)
 	ex := plan.NewExchanger(me)
-	nnz := float64(local.NNZ())
 
 	x := make([]float64, m)
 	r := append([]float64(nil), b...)
@@ -137,18 +137,7 @@ func innerPCG(nd *cluster.Node, a *sparse.CSR, plan *aspmv.Plan, ipart *dist.Par
 
 	for it := 0; it < maxIter; it++ {
 		copy(pg[:m], p)
-		ex.Start(nd, pg[:m])
-		if blocking {
-			ex.Finish(nd, pg[m:])
-			local.Mul(q, pg)
-			nd.Compute(2 * nnz)
-		} else {
-			local.MulInterior(q, pg)
-			nd.Compute(2 * float64(local.InteriorNNZ()))
-			ex.Finish(nd, pg[m:])
-			local.MulBoundary(q, pg)
-			nd.Compute(2 * float64(local.BoundaryNNZ()))
-		}
+		ex.MulOverlapped(nd, kern, q, pg, blocking)
 
 		pqLoc := vec.Dot(p, q)
 		nd.Compute(2 * float64(m))

@@ -43,6 +43,7 @@ func Solve(cfg Config) (*Result, error) {
 	// instrumentation costs nothing on the simulated clock.
 	nodeMem := make([]int64, cfg.Nodes)
 	nodeHalo := make([]int64, cfg.Nodes)
+	nodeKern := make([]string, cfg.Nodes)
 	runErr := comm.Run(func(nd *cluster.Node) {
 		run, err := newNodeRun(&cfg, nd, part, plan)
 		if err != nil {
@@ -51,10 +52,12 @@ func Solve(cfg Config) (*Result, error) {
 		run.main(result)
 		nodeMem[nd.GlobalRank()] = run.maxBytes()
 		nodeHalo[nd.GlobalRank()] = run.ex.HaloBytes()
+		nodeKern[nd.GlobalRank()] = run.kern.Name()
 	})
 	if runErr != nil {
 		return nil, runErr
 	}
+	result.Kernels = nodeKern
 	result.SimTime = comm.MaxClock()
 	result.WallTime = comm.WallTime()
 	result.BytesSent = comm.BytesSent()
@@ -126,6 +129,7 @@ type nodeRun struct {
 	allocZero func(n int) []float64
 
 	local *sparse.Local    // block rows in the compact owned+ghost index space
+	kern  sparse.Kernel    // planned SpMV layout over those rows (Config.Kernel)
 	ex    *aspmv.Exchanger // halo exchange driver (Start/Finish halves)
 
 	// Dynamic solver state (local blocks). These are exactly the data a
@@ -197,10 +201,11 @@ func newNodeRun(cfg *Config, nd *cluster.Node, part *dist.Partition, plan *aspmv
 	lo, hi := part.Lo(s), part.Hi(s)
 	var pc precond.Preconditioner
 	var local *sparse.Local
+	var kern sparse.Kernel
 	if prep := cfg.Prepared; prep != nil {
 		// The shared context already built (and validated) this rank's
-		// preconditioner and compact local matrix.
-		pc, local = prep.pcs[s], prep.locals[s]
+		// preconditioner, compact local matrix and planned kernel.
+		pc, local, kern = prep.pcs[s], prep.locals[s], prep.kerns[s]
 	} else {
 		var err error
 		pc, err = precond.Build(cfg.PrecondKind, cfg.A, lo, hi, cfg.MaxBlock)
@@ -214,6 +219,7 @@ func newNodeRun(cfg *Config, nd *cluster.Node, part *dist.Partition, plan *aspmv
 		if err != nil {
 			return nil, fmt.Errorf("core: local matrix extraction: %w", err)
 		}
+		kern = sparse.BuildKernel(local, cfg.Kernel)
 	}
 	// Fresh makes by default; workspace-recycled buffers under
 	// Config.Workspace. Only x needs the cleared variant (zero initial
@@ -228,7 +234,7 @@ func newNodeRun(cfg *Config, nd *cluster.Node, part *dist.Partition, plan *aspmv
 	run := &nodeRun{
 		cfg: cfg, nd: nd, part: part, plan: plan, pc: pc,
 		lo: lo, hi: hi, m: hi - lo, nnzLocal: float64(local.NNZ()),
-		local: local, ex: plan.NewExchanger(s), alloc: alloc, allocZero: allocZero,
+		local: local, kern: kern, ex: plan.NewExchanger(s), alloc: alloc, allocZero: allocZero,
 		x: allocZero(hi - lo), r: alloc(hi - lo),
 		z: alloc(hi - lo), p: alloc(hi - lo),
 		q: alloc(hi - lo), pg: alloc(hi - lo + local.G()),
@@ -268,31 +274,20 @@ func (run *nodeRun) dueEvent(j int) *FailureSpec {
 // pendingEvents reports whether unfired events remain on the timeline.
 func (run *nodeRun) pendingEvents() bool { return run.nextEvent < len(run.events) }
 
-// spmv computes q = (A·p) on the local rows via the compact halo exchange.
-// Unless cfg.BlockingExchange, the interior-rows product runs between the
-// exchange's Start and Finish halves, hiding the halo latency behind local
-// compute on the simulated clock. If augmented, the received redundant copy
-// is returned by value (ok=true) for the caller to retain — a pointer here
-// would escape to the heap once per iteration.
+// spmv computes q = (A·p) on the local rows via the compact halo exchange,
+// dispatched through the node's planned kernel (run.kern). Unless
+// cfg.BlockingExchange, the interior-rows product runs between the exchange's
+// Start and Finish halves, hiding the halo latency behind local compute on
+// the simulated clock. If augmented, the received redundant copy is returned
+// by value (ok=true) for the caller to retain — a pointer here would escape
+// to the heap once per iteration.
 func (run *nodeRun) spmv(augmented bool, iter int) (rc aspmv.ReceivedCopy, ok bool) {
 	if !augmented {
 		run.spmvInto(run.q, run.p)
 		return aspmv.ReceivedCopy{}, false
 	}
 	copy(run.pg[:run.m], run.p)
-	run.ex.StartAugmented(run.nd, run.pg[:run.m])
-	ghost := run.pg[run.m:]
-	if run.cfg.BlockingExchange {
-		rc = run.ex.FinishAugmented(run.nd, ghost, iter)
-		run.local.Mul(run.q, run.pg)
-		run.nd.Compute(2 * run.nnzLocal)
-	} else {
-		run.local.MulInterior(run.q, run.pg)
-		run.nd.Compute(2 * float64(run.local.InteriorNNZ()))
-		rc = run.ex.FinishAugmented(run.nd, ghost, iter)
-		run.local.MulBoundary(run.q, run.pg)
-		run.nd.Compute(2 * float64(run.local.BoundaryNNZ()))
-	}
+	rc = run.ex.MulOverlappedAugmented(run.nd, run.kern, run.q, run.pg, iter, run.cfg.BlockingExchange)
 	return rc, true
 }
 
@@ -300,19 +295,7 @@ func (run *nodeRun) spmv(augmented bool, iter int) (rc aspmv.ReceivedCopy, ok bo
 // exchange, with the same overlap scheme as spmv. src has length m.
 func (run *nodeRun) spmvInto(dst, src []float64) {
 	copy(run.pg[:run.m], src)
-	run.ex.Start(run.nd, run.pg[:run.m])
-	ghost := run.pg[run.m:]
-	if run.cfg.BlockingExchange {
-		run.ex.Finish(run.nd, ghost)
-		run.local.Mul(dst, run.pg)
-		run.nd.Compute(2 * run.nnzLocal)
-	} else {
-		run.local.MulInterior(dst, run.pg)
-		run.nd.Compute(2 * float64(run.local.InteriorNNZ()))
-		run.ex.Finish(run.nd, ghost)
-		run.local.MulBoundary(dst, run.pg)
-		run.nd.Compute(2 * float64(run.local.BoundaryNNZ()))
-	}
+	run.ex.MulOverlapped(run.nd, run.kern, dst, run.pg, run.cfg.BlockingExchange)
 }
 
 // dot2 performs the fused allreduce of two local partial sums, the way an

@@ -1,0 +1,126 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestBlockCholeskyMatchesPerBlock pins the flat packed-triangle arena to
+// the per-block Cholesky path bit for bit: same factors, same Solve, same
+// MulVec, across a spread of block sizes including 1×1 and the block-Jacobi
+// default 10×10.
+func TestBlockCholeskyMatchesPerBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var bc BlockCholesky
+	var refs []*Cholesky
+	sizes := []int{1, 2, 3, 7, 10, 10, 4, 9}
+	for _, n := range sizes {
+		a := randomSPD(n, rng)
+		ch, err := Factor(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ch)
+		if err := bc.Append(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bc.NumBlocks() != len(sizes) {
+		t.Fatalf("NumBlocks = %d, want %d", bc.NumBlocks(), len(sizes))
+	}
+	for b, n := range sizes {
+		if bc.Dim(b) != n {
+			t.Fatalf("Dim(%d) = %d, want %d", b, bc.Dim(b), n)
+		}
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		want := append([]float64(nil), v...)
+		refs[b].Solve(want)
+		got := append([]float64(nil), v...)
+		bc.Solve(b, got)
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("block %d Solve[%d] = %x, per-block %x", b, i,
+					math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+		wantM := make([]float64, n)
+		refs[b].MulVec(wantM, v)
+		gotM := make([]float64, n)
+		bc.MulVec(b, gotM, v)
+		for i := range gotM {
+			if math.Float64bits(gotM[i]) != math.Float64bits(wantM[i]) {
+				t.Fatalf("block %d MulVec[%d] = %x, per-block %x", b, i,
+					math.Float64bits(gotM[i]), math.Float64bits(wantM[i]))
+			}
+		}
+	}
+}
+
+// TestBlockCholeskySolvePairBitwise: the interleaved pair sweep must equal
+// two independent Solve calls bit for bit, including mixed block sizes.
+func TestBlockCholeskySolvePairBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var bc BlockCholesky
+	sizes := []int{10, 9, 1, 10, 5, 2}
+	for _, n := range sizes {
+		if err := bc.Append(randomSPD(n, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for b0 := 0; b0 < len(sizes); b0++ {
+		for b1 := 0; b1 < len(sizes); b1++ {
+			if b0 == b1 {
+				continue
+			}
+			v0 := make([]float64, sizes[b0])
+			v1 := make([]float64, sizes[b1])
+			for i := range v0 {
+				v0[i] = rng.NormFloat64()
+			}
+			for i := range v1 {
+				v1[i] = rng.NormFloat64()
+			}
+			w0 := append([]float64(nil), v0...)
+			w1 := append([]float64(nil), v1...)
+			bc.Solve(b0, w0)
+			bc.Solve(b1, w1)
+			bc.SolvePair(b0, b1, v0, v1)
+			for i := range v0 {
+				if math.Float64bits(v0[i]) != math.Float64bits(w0[i]) {
+					t.Fatalf("pair (%d,%d) block0[%d]: %x != %x", b0, b1, i,
+						math.Float64bits(v0[i]), math.Float64bits(w0[i]))
+				}
+			}
+			for i := range v1 {
+				if math.Float64bits(v1[i]) != math.Float64bits(w1[i]) {
+					t.Fatalf("pair (%d,%d) block1[%d]: %x != %x", b0, b1, i,
+						math.Float64bits(v1[i]), math.Float64bits(w1[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestBlockCholeskyRejectsIndefinite mirrors Factor's SPD check: a failed
+// Append must leave the arena unchanged and usable.
+func TestBlockCholeskyRejectsIndefinite(t *testing.T) {
+	var bc BlockCholesky
+	rng := rand.New(rand.NewSource(7))
+	if err := bc.Append(randomSPD(4, rng)); err != nil {
+		t.Fatal(err)
+	}
+	bad := New(3)
+	bad.Set(0, 0, -1)
+	if err := bc.Append(bad); err == nil {
+		t.Fatal("Append accepted an indefinite block")
+	}
+	if bc.NumBlocks() != 1 {
+		t.Fatalf("failed Append corrupted the arena: %d blocks", bc.NumBlocks())
+	}
+	v := []float64{1, 2, 3, 4}
+	bc.Solve(0, v) // must not panic on the surviving block
+}

@@ -84,6 +84,7 @@ type Spec struct {
 	MaxIter   int                // per-run iteration cap (0 = solver default)
 	CostModel *cluster.CostModel // nil = cluster default
 	Precond   precond.Kind       // zero value = block Jacobi
+	Kernel    sparse.KernelKind  // SpMV layout (zero value = planner-chosen)
 
 	// BalanceNNZ runs the whole constellation on the weight-balanced block
 	// row distribution instead of the paper's uniform split (see
@@ -202,6 +203,11 @@ type Report struct {
 	// used — the uniform split, or the balanced one with Spec.BalanceNNZ.
 	Partition *dist.Quality
 
+	// Kernels condenses the per-node SpMV kernel layouts of the reference
+	// run ("band×30, band+sellc×2"): the planner's choices under KernelAuto,
+	// or the forced kind.
+	Kernels string
+
 	ESRP []Cell // sorted by (T, φ); T = 1 entries are plain ESR
 	IMCR []Cell // sorted by (T, φ); no T = 1 entry
 
@@ -267,6 +273,7 @@ func Run(spec Spec) (*Report, error) {
 	rep.RefDrift = ref.Drift
 	rep.RefMaxNodeBytes = ref.MaxNodeBytes
 	rep.RefHaloBytes = ref.HaloBytes
+	rep.Kernels = core.CondenseKernels(ref.Kernels)
 
 	for _, t := range spec.Ts {
 		for _, phi := range spec.Phis {
@@ -410,6 +417,7 @@ func (s Spec) config(cfg core.Config) core.Config {
 	cfg.PrecondKind = s.Precond
 	cfg.CostModel = s.CostModel
 	cfg.BalanceNNZ = s.BalanceNNZ
+	cfg.Kernel = s.Kernel
 	return cfg
 }
 

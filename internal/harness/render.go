@@ -205,6 +205,9 @@ func Summary(r *Report) string {
 		fmt.Fprintf(&b, "  per-node memory ≤ %s (O(local+halo)); measured halo traffic %s per reference solve\n",
 			fmtBytes(r.RefMaxNodeBytes), fmtBytes(r.RefHaloBytes))
 	}
+	if r.Kernels != "" {
+		fmt.Fprintf(&b, "  spmv kernels (%v): %s\n", r.Spec.Kernel, r.Kernels)
+	}
 	if esr := findPhi(cellsWithT(r.ESRP, 1), r.Spec.Phis[0]); esr != nil {
 		fmt.Fprintf(&b, "  ESR    (T=1,  φ=%d): failure-free overhead %6.2f%%\n", r.Spec.Phis[0], 100*esr.FFOverhead)
 	}

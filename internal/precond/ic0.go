@@ -31,6 +31,63 @@ type IC0PC struct {
 	val    []float64
 	shift  float64 // diagonal shift α used (0 in the common case)
 	flops  float64
+
+	// runs is the band decomposition of the factor's sparsity: maximal row
+	// ranges whose column pattern is one offset set shifted with the row
+	// (diagonal last, offset 0). On stencil blocks the whole factor is a
+	// handful of runs, and both substitution sweeps then walk offset
+	// patterns instead of loading a column index per entry. nil when runs
+	// are too short to pay (irregular blocks keep the generic CSR sweeps).
+	// Either path performs identical arithmetic in identical order.
+	runs []icRun
+}
+
+// icRun is one shifted-pattern row range [i0,i1) of the factor: entry k of
+// row i sits at column i+off[k], with off[len-1] = 0 (the diagonal).
+type icRun struct {
+	i0, i1 int
+	off    []int
+}
+
+// icMinRunAvg gates the band substitution: below this average run length the
+// pattern bookkeeping costs more than the saved index loads.
+const icMinRunAvg = 4
+
+// buildRuns decomposes the factored pattern into shifted runs, keeping them
+// only when long runs dominate.
+func (p *IC0PC) buildRuns() {
+	var runs []icRun
+	for i := 0; i < p.n; {
+		r0, r1 := p.rowPtr[i], p.rowPtr[i+1]
+		off := make([]int, r1-r0)
+		for k, t := 0, r0; t < r1; k, t = k+1, t+1 {
+			off[k] = p.colIdx[t] - i
+		}
+		u := i + 1
+		for u < p.n && p.sameShiftedRow(u, off) {
+			u++
+		}
+		runs = append(runs, icRun{i0: i, i1: u, off: off})
+		i = u
+	}
+	if p.n > 0 && float64(p.n) >= icMinRunAvg*float64(len(runs)) {
+		p.runs = runs
+	}
+}
+
+// sameShiftedRow reports whether factor row i's columns equal i+off entry
+// for entry.
+func (p *IC0PC) sameShiftedRow(i int, off []int) bool {
+	r0, r1 := p.rowPtr[i], p.rowPtr[i+1]
+	if r1-r0 != len(off) {
+		return false
+	}
+	for k, t := 0, r0; t < r1; k, t = k+1, t+1 {
+		if p.colIdx[t] != i+off[k] {
+			return false
+		}
+	}
+	return true
 }
 
 // NewIC0 builds the node-local IC(0) preconditioner for rows [lo,hi) of a.
@@ -103,6 +160,7 @@ func NewIC0(a *sparse.CSR, lo, hi int) (*IC0PC, error) {
 	}
 	p.shift = shift
 	p.flops = 4 * float64(nnz) // forward + backward substitution
+	p.buildRuns()
 	return p, nil
 }
 
@@ -160,8 +218,15 @@ func (*IC0PC) Name() string { return "ic0" }
 func (p *IC0PC) Shift() float64 { return p.shift }
 
 // Apply implements Preconditioner: z = (L·Lᵀ)⁻¹ r by forward substitution
-// L·y = r followed by backward substitution Lᵀ·z = y.
+// L·y = r followed by backward substitution Lᵀ·z = y. On stencil blocks both
+// sweeps walk the factor's band runs (no per-entry column loads); the
+// generic CSR sweeps remain for irregular patterns. Same operands, same
+// order, bitwise-identical z either way.
 func (p *IC0PC) Apply(z, r []float64) {
+	if p.runs != nil {
+		p.applyBand(z, r)
+		return
+	}
 	n := p.n
 	// Forward: y overwrites z.
 	for i := 0; i < n; i++ {
@@ -179,6 +244,39 @@ func (p *IC0PC) Apply(z, r []float64) {
 		z[i] = zi
 		for t := r0; t < r1-1; t++ {
 			z[p.colIdx[t]] -= p.val[t] * zi
+		}
+	}
+}
+
+// applyBand is Apply's substitution pair over the factor's band runs.
+func (p *IC0PC) applyBand(z, r []float64) {
+	for _, rn := range p.runs {
+		w := len(rn.off)
+		off := rn.off[:max(w-1, 0)] // off-diagonal offsets (diagonal is last)
+		vi := p.rowPtr[rn.i0]
+		for i := rn.i0; i < rn.i1; i++ {
+			s := r[i]
+			v := p.val[vi : vi+w-1]
+			for k, o := range off {
+				s -= v[k] * z[i+o]
+			}
+			z[i] = s / p.val[vi+w-1]
+			vi += w
+		}
+	}
+	for ri := len(p.runs) - 1; ri >= 0; ri-- {
+		rn := p.runs[ri]
+		w := len(rn.off)
+		off := rn.off[:max(w-1, 0)]
+		vi := p.rowPtr[rn.i1] - w
+		for i := rn.i1 - 1; i >= rn.i0; i-- {
+			zi := z[i] / p.val[vi+w-1]
+			z[i] = zi
+			v := p.val[vi : vi+w-1]
+			for k, o := range off {
+				z[i+o] -= v[k] * zi
+			}
+			vi -= w
 		}
 	}
 }

@@ -225,3 +225,49 @@ func TestIC0BuildAndParse(t *testing.T) {
 		t.Fatalf("String() = %q", IC0.String())
 	}
 }
+
+// TestIC0BandApplyBitwise pins the band substitution sweeps to the generic
+// CSR sweeps bit for bit: on a stencil block the factor decomposes into long
+// shifted runs (the band path), and forcing runs off must reproduce the
+// exact same z.
+func TestIC0BandApplyBitwise(t *testing.T) {
+	a := matgen.Poisson3D(5, 5, 12)
+	p, err := NewIC0(a, 60, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.runs == nil {
+		t.Fatal("stencil factor did not take the band substitution path")
+	}
+	rng := rand.New(rand.NewSource(11))
+	r := make([]float64, p.n)
+	for i := range r {
+		r[i] = rng.NormFloat64()
+	}
+	band := make([]float64, p.n)
+	p.Apply(band, r)
+	generic := make([]float64, p.n)
+	runs := p.runs
+	p.runs = nil
+	p.Apply(generic, r)
+	p.runs = runs
+	for i := range band {
+		if math.Float64bits(band[i]) != math.Float64bits(generic[i]) {
+			t.Fatalf("z[%d]: band %x != generic %x", i,
+				math.Float64bits(band[i]), math.Float64bits(generic[i]))
+		}
+	}
+}
+
+// TestIC0IrregularSkipsBandRuns: a random-pattern factor must keep the
+// generic sweeps (short runs would cost more than they save).
+func TestIC0IrregularSkipsBandRuns(t *testing.T) {
+	a := matgen.BandedSPD(120, 9, 3)
+	p, err := NewIC0(a, 0, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.runs != nil {
+		t.Fatalf("random banded factor took the band path (%d runs over %d rows)", len(p.runs), p.n)
+	}
+}

@@ -1,0 +1,237 @@
+package sparse
+
+// bandUnroll is the row unroll width of the period-1 band loop: four
+// consecutive rows share one pass over the offset pattern, with four
+// independent accumulators and x loads that land on adjacent entries.
+const bandUnroll = 4
+
+// bandMaxPeriod caps the detected pattern period (the dof count of blocked
+// stencil matrices; audikw-class problems use 3). It also bounds the
+// accumulator array of the periodic loop.
+const bandMaxPeriod = 8
+
+// bandRun is a maximal sequence of consecutive local rows [i0,i1) whose
+// compact column indices follow one offset pattern with period d: the d rows
+// of a group share identical columns, and each group's columns are the
+// previous group's shifted by d —
+//
+//	cols(i) = (i0 + d·⌊(i−i0)/d⌋) + off,  entry for entry, source order.
+//
+// d = 1 is the scalar stencil (Emilia-class): every row shifts by one.
+// d = dof covers vertex-blocked stencils (audikw-class), where the dof rows
+// of a vertex couple the same columns. Stencil interiors are almost
+// entirely such runs; a run's values are contiguous in the Local's CSR
+// storage, so the kernel streams them without copying.
+type bandRun struct {
+	i0, i1 int
+	d      int   // pattern period (≥ 1); i1−i0 is a multiple of d
+	base   int   // offset of row i0's first entry in the Local's Vals
+	off    []int // column offsets relative to the group base, source order
+}
+
+// bandRows is the constant-band layout of one row block: the block's rows
+// decomposed into periodic shifted-pattern runs. Within a run the column of
+// entry k is groupBase+off[k] — no per-entry index loads; the period-1 loop
+// reuses each offset across four rows, the period-d loop additionally loads
+// each x entry once per group instead of once per row. Rows that fit no run
+// degenerate to single-row runs (correct, CSR-equivalent speed); the
+// planner only picks this layout when long runs dominate.
+type bandRows struct {
+	vals []float64 // the Local's value storage (shared, read-only)
+	runs []bandRun
+	nz   int
+}
+
+func newBandRows(l *Local, rows []int) *bandRows {
+	b := &bandRows{vals: l.Vals}
+	for t := 0; t < len(rows); {
+		i0 := rows[t]
+		cols, _ := l.Row(i0)
+		off := make([]int, len(cols))
+		for k, c := range cols {
+			off[k] = c - i0
+		}
+		// Period: 1 + the consecutive rows whose columns equal row i0's.
+		d := 1
+		for t+d < len(rows) && d < bandMaxPeriod &&
+			rows[t+d] == i0+d && colsEqualShifted(l, rows[t+d], cols, 0) {
+			d++
+		}
+		// Extend by whole groups: group g is d consecutive rows whose
+		// columns are cols(i0) shifted by g·d.
+		groups := 1
+		for {
+			gt := t + groups*d
+			base := groups * d
+			ok := gt+d <= len(rows)
+			for r := 0; ok && r < d; r++ {
+				ok = rows[gt+r] == i0+base+r && colsEqualShifted(l, rows[gt+r], cols, base)
+			}
+			if !ok {
+				break
+			}
+			groups++
+		}
+		run := bandRun{i0: i0, i1: i0 + groups*d, d: d, base: l.RowPtr[i0], off: off}
+		b.nz += (run.i1 - run.i0) * len(off)
+		b.runs = append(b.runs, run)
+		t += groups * d
+	}
+	return b
+}
+
+// colsEqualShifted reports whether local row i's compact columns equal
+// cols+s entry for entry.
+func colsEqualShifted(l *Local, i int, cols []int, s int) bool {
+	ci, _ := l.Row(i)
+	if len(ci) != len(cols) {
+		return false
+	}
+	for k, c := range ci {
+		if c != cols[k]+s {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *bandRows) name() string { return "band" }
+func (b *bandRows) nnz() int     { return b.nz }
+
+// coveredRows counts the rows in runs long enough for the fast loops: the
+// planner's statistic. Period-1 runs need bandUnroll rows to feed the
+// unrolled loop; a periodic run pays off from its first full group (the
+// group shares every x load across its d rows).
+func (b *bandRows) coveredRows() int {
+	covered := 0
+	for _, rn := range b.runs {
+		if n := rn.i1 - rn.i0; n >= bandMinRun || rn.d > 1 {
+			covered += n
+		}
+	}
+	return covered
+}
+
+func (b *bandRows) mul(dst, x []float64) {
+	for ri := range b.runs {
+		rn := &b.runs[ri]
+		if rn.d > 1 {
+			b.mulPeriodic(rn, dst, x)
+			continue
+		}
+		off := rn.off
+		w := len(off)
+		vi := rn.base
+		i := rn.i0
+		if w > 0 {
+			for ; i+bandUnroll <= rn.i1; i += bandUnroll {
+				v0 := b.vals[vi : vi+w : vi+w]
+				v1 := b.vals[vi+w : vi+2*w : vi+2*w]
+				v2 := b.vals[vi+2*w : vi+3*w : vi+3*w]
+				v3 := b.vals[vi+3*w : vi+4*w : vi+4*w]
+				var a0, a1, a2, a3 float64
+				for k, o := range off {
+					xo := x[i+o : i+o+4 : i+o+4]
+					a0 += v0[k] * xo[0]
+					a1 += v1[k] * xo[1]
+					a2 += v2[k] * xo[2]
+					a3 += v3[k] * xo[3]
+				}
+				dst[i] = a0
+				dst[i+1] = a1
+				dst[i+2] = a2
+				dst[i+3] = a3
+				vi += bandUnroll * w
+			}
+		}
+		for ; i < rn.i1; i++ {
+			v := b.vals[vi : vi+w : vi+w]
+			var a float64
+			for k, o := range off {
+				a += v[k] * x[i+o]
+			}
+			dst[i] = a
+			vi += w
+		}
+	}
+}
+
+// mulPeriodic is the period-d loop: the d rows of a group read the same
+// columns, so each x entry is loaded once per group and feeds d independent
+// accumulators. The dominant dof counts (2, 3, 4) run with scalar
+// accumulators so they live in registers; other periods take the generic
+// array loop.
+func (b *bandRows) mulPeriodic(rn *bandRun, dst, x []float64) {
+	off := rn.off
+	w := len(off)
+	vi := rn.base
+	switch rn.d {
+	case 2:
+		for i := rn.i0; i < rn.i1; i += 2 {
+			v0 := b.vals[vi : vi+w : vi+w]
+			v1 := b.vals[vi+w : vi+2*w : vi+2*w]
+			var a0, a1 float64
+			for k, o := range off {
+				xv := x[i+o]
+				a0 += v0[k] * xv
+				a1 += v1[k] * xv
+			}
+			dst[i] = a0
+			dst[i+1] = a1
+			vi += 2 * w
+		}
+	case 3:
+		for i := rn.i0; i < rn.i1; i += 3 {
+			v0 := b.vals[vi : vi+w : vi+w]
+			v1 := b.vals[vi+w : vi+2*w : vi+2*w]
+			v2 := b.vals[vi+2*w : vi+3*w : vi+3*w]
+			var a0, a1, a2 float64
+			for k, o := range off {
+				xv := x[i+o]
+				a0 += v0[k] * xv
+				a1 += v1[k] * xv
+				a2 += v2[k] * xv
+			}
+			dst[i] = a0
+			dst[i+1] = a1
+			dst[i+2] = a2
+			vi += 3 * w
+		}
+	case 4:
+		for i := rn.i0; i < rn.i1; i += 4 {
+			v0 := b.vals[vi : vi+w : vi+w]
+			v1 := b.vals[vi+w : vi+2*w : vi+2*w]
+			v2 := b.vals[vi+2*w : vi+3*w : vi+3*w]
+			v3 := b.vals[vi+3*w : vi+4*w : vi+4*w]
+			var a0, a1, a2, a3 float64
+			for k, o := range off {
+				xv := x[i+o]
+				a0 += v0[k] * xv
+				a1 += v1[k] * xv
+				a2 += v2[k] * xv
+				a3 += v3[k] * xv
+			}
+			dst[i] = a0
+			dst[i+1] = a1
+			dst[i+2] = a2
+			dst[i+3] = a3
+			vi += 4 * w
+		}
+	default:
+		d := rn.d
+		for i := rn.i0; i < rn.i1; i += d {
+			var acc [bandMaxPeriod]float64
+			for k, o := range off {
+				xv := x[i+o]
+				vk := vi + k
+				for r := 0; r < d; r++ {
+					acc[r] += b.vals[vk+r*w] * xv
+				}
+			}
+			for r := 0; r < d; r++ {
+				dst[i+r] = acc[r]
+			}
+			vi += d * w
+		}
+	}
+}

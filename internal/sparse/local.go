@@ -68,20 +68,39 @@ func NewLocal(a *CSR, lo, hi int, ghost []int) (*Local, error) {
 	for i := lo; i < hi; i++ {
 		cols, vals := a.Row(i)
 		interior := true
+		// Values carry over untransformed: one bulk copy per row. Only the
+		// column indices need the compact renumbering.
+		l.Vals = append(l.Vals, vals...)
+		base := len(l.Cols)
+		l.Cols = l.Cols[:base+len(cols)]
+		out := l.Cols[base:]
+		// Ghost lookups amortize over the row: columns ascend within a CSR
+		// row and the ghost set is sorted, so after one binary search for
+		// the row's first ghost column the cursor only advances linearly.
+		g := -1
 		for k, j := range cols {
-			c := 0
 			if j >= lo && j < hi {
-				c = j - lo
-			} else {
-				g := sort.SearchInts(ghost, j)
-				if g == len(ghost) || ghost[g] != j {
-					return nil, fmt.Errorf("sparse: row %d references column %d missing from the ghost set", i, j)
-				}
-				c = m + g
-				interior = false
+				out[k] = j - lo
+				continue
 			}
-			l.Cols = append(l.Cols, c)
-			l.Vals = append(l.Vals, vals[k])
+			if g < 0 {
+				g = sort.SearchInts(ghost, j)
+			} else {
+				// Short forward scan for the common adjacent-ghost case; a
+				// long jump (e.g. to the next halo plane) re-searches only
+				// the remaining tail.
+				for lim := g + 8; g < len(ghost) && ghost[g] < j; g++ {
+					if g == lim {
+						g += sort.SearchInts(ghost[g:], j)
+						break
+					}
+				}
+			}
+			if g == len(ghost) || ghost[g] != j {
+				return nil, fmt.Errorf("sparse: row %d references column %d missing from the ghost set", i, j)
+			}
+			out[k] = m + g
+			interior = false
 		}
 		l.RowPtr[i-lo+1] = len(l.Cols)
 		if interior {

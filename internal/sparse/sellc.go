@@ -1,0 +1,141 @@
+package sparse
+
+import "sort"
+
+// sellChunk is the SELL-C chunk width: 8 rows share one inner loop, giving
+// the scalar CPU eight independent accumulator chains instead of CSR's one.
+// The per-row dependency chain of floating-point adds is what bounds the CSR
+// traversal (one entry per add latency); interleaving eight rows keeps the
+// FMA pipeline full without reordering any row's accumulation.
+const sellChunk = 8
+
+// sellSigma is the σ sorting window: within each window of slots the rows
+// are stably sorted by length so chunks come out uniform and run the fully
+// unrolled loop. Sorting only permutes which rows share a chunk — every row
+// still accumulates its own entries in source order into its own dst slot —
+// so results stay bitwise identical to CSR. The window is kept small so the
+// rows sharing a chunk stay near each other and their x loads stay local.
+const sellSigma = 8 * sellChunk
+
+// sellRows is the SELL-C-σ (sliced ELL) layout of one row block: rows are
+// grouped into chunks of 8 slots after the per-window length sort, and each
+// chunk stores its entries lane-major: entry k of slot t at
+// cols[ptr + k*8 + t]. Within a lane, k ascends in the row's source entry
+// order, so each row's products accumulate exactly as in the CSR traversal.
+//
+// Chunks whose 8 rows all share one length run the fully unrolled loop;
+// ragged or partial chunks fall back to a guarded lane walk that never reads
+// the zero padding (a padded multiply-add could flip a -0.0 partial sum to
+// +0.0, which the bitwise-identity contract forbids).
+type sellRows struct {
+	rows     []int  // target local row per slot (σ-permuted block order)
+	rowLen   []int  // entries per slot
+	chunkPtr []int  // per chunk: start offset into cols/vals (len nchunks+1)
+	uniform  []bool // per chunk: full 8 slots of one shared length
+	cols     []int32
+	vals     []float64
+	nz       int
+}
+
+func newSellRows(l *Local, rows []int) *sellRows {
+	n := len(rows)
+	nch := (n + sellChunk - 1) / sellChunk
+	s := &sellRows{
+		rows:     append([]int(nil), rows...),
+		rowLen:   make([]int, n),
+		chunkPtr: make([]int, nch+1),
+		uniform:  make([]bool, nch),
+	}
+	rowLenOf := func(i int) int { return l.RowPtr[i+1] - l.RowPtr[i] }
+	// σ window sort: uniform-length chunks wherever the block allows it.
+	for w0 := 0; w0 < n; w0 += sellSigma {
+		w1 := min(w0+sellSigma, n)
+		win := s.rows[w0:w1]
+		sort.SliceStable(win, func(a, b int) bool { return rowLenOf(win[a]) < rowLenOf(win[b]) })
+	}
+	for t, i := range s.rows {
+		s.rowLen[t] = rowLenOf(i)
+		s.nz += s.rowLen[t]
+	}
+	for c := 0; c < nch; c++ {
+		lo := c * sellChunk
+		hi := min(lo+sellChunk, n)
+		w := 0
+		uniform := hi-lo == sellChunk
+		for t := lo; t < hi; t++ {
+			if s.rowLen[t] != s.rowLen[lo] {
+				uniform = false
+			}
+			w = max(w, s.rowLen[t])
+		}
+		s.uniform[c] = uniform
+		base := len(s.cols)
+		s.cols = append(s.cols, make([]int32, w*sellChunk)...)
+		s.vals = append(s.vals, make([]float64, w*sellChunk)...)
+		for t := lo; t < hi; t++ {
+			cols, vals := l.Row(s.rows[t])
+			lane := t - lo
+			for k := range cols {
+				s.cols[base+k*sellChunk+lane] = int32(cols[k])
+				s.vals[base+k*sellChunk+lane] = vals[k]
+			}
+		}
+		s.chunkPtr[c+1] = len(s.cols)
+	}
+	return s
+}
+
+func (s *sellRows) name() string { return "sellc" }
+func (s *sellRows) nnz() int     { return s.nz }
+
+func (s *sellRows) mul(dst, x []float64) {
+	for c := 0; c+1 < len(s.chunkPtr); c++ {
+		base := s.chunkPtr[c]
+		w := (s.chunkPtr[c+1] - base) / sellChunk
+		lo := c * sellChunk
+		if s.uniform[c] {
+			var a0, a1, a2, a3, a4, a5, a6, a7 float64
+			for k := 0; k < w; k++ {
+				o := base + k*sellChunk
+				cc := s.cols[o : o+8 : o+8]
+				vv := s.vals[o : o+8 : o+8]
+				a0 += vv[0] * x[cc[0]]
+				a1 += vv[1] * x[cc[1]]
+				a2 += vv[2] * x[cc[2]]
+				a3 += vv[3] * x[cc[3]]
+				a4 += vv[4] * x[cc[4]]
+				a5 += vv[5] * x[cc[5]]
+				a6 += vv[6] * x[cc[6]]
+				a7 += vv[7] * x[cc[7]]
+			}
+			r := s.rows[lo : lo+8 : lo+8]
+			dst[r[0]] = a0
+			dst[r[1]] = a1
+			dst[r[2]] = a2
+			dst[r[3]] = a3
+			dst[r[4]] = a4
+			dst[r[5]] = a5
+			dst[r[6]] = a6
+			dst[r[7]] = a7
+			continue
+		}
+		// Ragged or partial chunk: k-major walk with a per-lane length guard
+		// (slots are length-sorted within the window, so the guard flips at
+		// most once per lane and predicts well). Padding is never read.
+		hi := min(lo+sellChunk, len(s.rows))
+		nl := hi - lo
+		var acc [sellChunk]float64
+		lens := s.rowLen[lo:hi]
+		for k := 0; k < w; k++ {
+			o := base + k*sellChunk
+			for lane := 0; lane < nl; lane++ {
+				if k < lens[lane] {
+					acc[lane] += s.vals[o+lane] * x[s.cols[o+lane]]
+				}
+			}
+		}
+		for lane := 0; lane < nl; lane++ {
+			dst[s.rows[lo+lane]] = acc[lane]
+		}
+	}
+}
