@@ -42,6 +42,10 @@ type HostBenchReport struct {
 	GoMaxProcs int    `json:"gomaxprocs"`
 	Note       string `json:"note,omitempty"`
 
+	// Build carries the VCS provenance of the benchmarking binary, so a
+	// perf regression in the chain is attributable to a commit.
+	Build esrp.BuildInfo `json:"build"`
+
 	BaselineKernel  string `json:"baseline_kernel"`
 	OptimizedKernel string `json:"optimized_kernel"`
 
@@ -178,6 +182,7 @@ func writeHostBench(dir, baselinePath, note string) (string, error) {
 	rep := HostBenchReport{
 		GoVersion:       runtime.Version(),
 		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		Build:           esrp.CurrentBuild(),
 		Note:            note,
 		BaselineKernel:  esrp.KernelCSR.String(),
 		OptimizedKernel: esrp.KernelAuto.String(),

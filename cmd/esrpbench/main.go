@@ -249,6 +249,11 @@ type benchJSON struct {
 	Nodes int    `json:"nodes"`
 	Scale int    `json:"scale"`
 
+	// Build is the provenance stamp of the binary that produced the export
+	// (Go version, VCS revision) — the anchor for comparing figures across
+	// runs.
+	Build esrp.BuildInfo `json:"build"`
+
 	RefSimTime      float64 `json:"ref_sim_time_s"`
 	RefIterations   int     `json:"ref_iterations"`
 	RefMaxNodeBytes int64   `json:"ref_max_node_bytes"`
@@ -269,6 +274,7 @@ type benchJSON struct {
 func writeBenchJSON(dir, name string, g generator, a *esrp.CSR, rep *esrp.ExperimentReport, hostNs, hostAllocs int64) (string, error) {
 	out := benchJSON{
 		Name: name, Rows: a.Rows, NNZ: a.NNZ(), Nodes: g.nodes, Scale: g.scale,
+		Build:      esrp.CurrentBuild(),
 		RefSimTime: rep.RefTime, RefIterations: rep.RefIters,
 		RefMaxNodeBytes: rep.RefMaxNodeBytes, RefHaloBytes: rep.RefHaloBytes,
 		HostWallNs: hostNs, HostAllocs: hostAllocs,

@@ -20,12 +20,17 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"esrp"
 	"esrp/internal/faultsim"
@@ -62,7 +67,11 @@ func main() {
 
 		jsonPath = flag.String("json", "-", "JSON output path (- = stdout)")
 		csvPath  = flag.String("csv", "", "optional CSV output path (one row per cell)")
-		quiet    = flag.Bool("q", false, "suppress the aggregate table and summary on stderr")
+		quiet    = flag.Bool("q", false, "suppress the aggregate table, summary, and live progress on stderr")
+
+		metricsPath = flag.String("metrics", "", "write a Prometheus textfile snapshot of the campaign counters to this path")
+		traceSample = flag.Int("trace-sample", 0, "trace every N-th grid cell (0 = off); traces land in -trace-dir")
+		traceDir    = flag.String("trace-dir", "traces", "directory for sampled cell traces (Chrome trace_event JSON)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -92,12 +101,41 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	if *traceSample > 0 {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+		grid.TraceSample = *traceSample
+		dir := *traceDir
+		grid.OnCellTrace = func(index int, c *esrp.CampaignCell, tr *esrp.Trace) {
+			// Sampled concurrently, but every cell index gets its own file,
+			// so the writes never contend.
+			path := filepath.Join(dir, fmt.Sprintf("cell-%04d-%s-%s-seed%d.trace.json", index, c.Matrix, c.Strategy, c.Seed))
+			if err := writeCellTrace(tr, path); err != nil {
+				fmt.Fprintf(os.Stderr, "esrpcampaign: trace %s: %v\n", path, err)
+			}
+		}
+	}
+	if !*quiet {
+		start := time.Now()
+		var progressMu sync.Mutex
+		grid.Progress = func(done, total int) {
+			progressMu.Lock()
+			defer progressMu.Unlock()
+			elapsed := time.Since(start).Seconds()
+			rate := float64(done) / math.Max(elapsed, 1e-9)
+			eta := time.Duration(float64(total-done) / rate * float64(time.Second))
+			fmt.Fprintf(os.Stderr, "\rcells %d/%d (%.1f/s, ETA %v)   ", done, total, rate, eta.Round(time.Second))
+		}
+	}
+
 	rep, err := esrp.RunCampaign(*grid)
 	if err != nil {
 		fatalf("%v", err)
 	}
 
 	if !*quiet {
+		fmt.Fprintln(os.Stderr) // terminate the progress line
 		fmt.Fprint(os.Stderr, esrp.RenderCampaignTable(rep))
 		fmt.Fprint(os.Stderr, esrp.CampaignSummary(rep))
 	}
@@ -109,6 +147,26 @@ func main() {
 			fatalf("writing CSV: %v", err)
 		}
 	}
+	if *metricsPath != "" {
+		if err := writeOut(*metricsPath, func(w io.Writer) error {
+			return rep.WriteMetrics(w, esrp.CurrentBuild())
+		}); err != nil {
+			fatalf("writing metrics: %v", err)
+		}
+	}
+}
+
+// writeCellTrace exports one sampled cell's Chrome trace, self-validated
+// against the same schema check the CI gate runs.
+func writeCellTrace(tr *esrp.Trace, path string) error {
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		return err
+	}
+	if err := esrp.ValidateChromeTrace(buf.Bytes()); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
 }
 
 // gridFlags bundles the parsed flag values for buildGrid, keeping the flag

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -55,7 +56,9 @@ func main() {
 		balance   = flag.Bool("balance", false, "balance the row distribution by per-row work instead of row counts")
 		rr        = flag.Int("rr", 0, "residual replacement interval (0 = off)")
 
-		verbose = flag.Bool("v", false, "print residual history length and traffic counters")
+		tracePath  = flag.String("trace", "", "write the per-rank span timeline as Chrome trace_event JSON to this file (open in https://ui.perfetto.dev)")
+		seriesPath = flag.String("series", "", "write the per-iteration metric series to this file (.json, anything else = CSV)")
+		verbose    = flag.Bool("v", false, "print residual history, per-event recovery breakdown, and traffic counters")
 	)
 	flag.Parse()
 
@@ -86,6 +89,14 @@ func main() {
 		ResidualReplacementInterval: *rr,
 	}
 	cfg.Spares = *spares
+	// -v derives its recovery breakdown from the trace envelopes, so it
+	// turns tracing on too; the recorder never alters the trajectory.
+	if *tracePath != "" || *seriesPath != "" || *verbose {
+		cfg.Observe = &esrp.ObserveOptions{
+			Trace:  *tracePath != "" || *verbose,
+			Series: *seriesPath != "",
+		}
+	}
 	if *events != "" {
 		if *failIter >= 0 {
 			fatalf("use either -fail-iter/-fail-ranks (single event) or -events (timeline), not both")
@@ -135,11 +146,96 @@ func main() {
 		fmt.Printf("traffic: %d messages, %d payload bytes (%d halo)\n", res.MsgsSent, res.BytesSent, res.HaloBytes)
 		fmt.Printf("per-node memory: %d bytes max (O(local+halo))\n", res.MaxNodeBytes)
 		fmt.Printf("spmv kernels (%s): %s\n", *kernel, esrp.CondenseKernels(res.Kernels))
-		fmt.Printf("recorded %d residuals\n", len(res.Residuals))
+		printResiduals(res.Residuals)
+		printRecoveryBreakdown(res.Trace)
+	}
+	if *tracePath != "" {
+		if err := writeTrace(res.Trace, *tracePath); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("trace: %s (open in https://ui.perfetto.dev)\n", *tracePath)
+	}
+	if *seriesPath != "" {
+		if err := writeSeries(res.Trace, *seriesPath); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("series: %s (%d iteration samples)\n", *seriesPath, len(res.Trace.Series))
 	}
 	if !res.Converged {
 		os.Exit(1)
 	}
+}
+
+// printResiduals shows the residual history's head and tail — enough to see
+// the convergence slope and any post-recovery jump without pages of output.
+func printResiduals(resid []float64) {
+	fmt.Printf("recorded %d residuals\n", len(resid))
+	const edge = 4
+	if len(resid) <= 2*edge {
+		for i, r := range resid {
+			fmt.Printf("  resid[%d] = %.6e\n", i, r)
+		}
+		return
+	}
+	for i := 0; i < edge; i++ {
+		fmt.Printf("  resid[%d] = %.6e\n", i, resid[i])
+	}
+	fmt.Printf("  ... %d more ...\n", len(resid)-2*edge)
+	for i := len(resid) - edge; i < len(resid); i++ {
+		fmt.Printf("  resid[%d] = %.6e\n", i, resid[i])
+	}
+}
+
+// printRecoveryBreakdown itemizes each failure event's simulated recovery
+// cost from the trace envelopes.
+func printRecoveryBreakdown(tr *esrp.Trace) {
+	if tr == nil {
+		return
+	}
+	stats := tr.RecoveryStats()
+	if len(stats) == 0 {
+		return
+	}
+	fmt.Printf("recovery breakdown (%d events):\n", len(stats))
+	for _, st := range stats {
+		fmt.Printf("  iter %d: %.4g s simulated across %d ranks\n", st.Iter, st.Time, st.Ranks)
+	}
+}
+
+// writeTrace exports the Chrome trace_event JSON, self-validating the bytes
+// against the schema checker the CI gate uses before they hit disk.
+func writeTrace(tr *esrp.Trace, path string) error {
+	if tr == nil {
+		return fmt.Errorf("no trace recorded")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		return fmt.Errorf("building trace: %w", err)
+	}
+	if err := esrp.ValidateChromeTrace(buf.Bytes()); err != nil {
+		return fmt.Errorf("trace failed self-validation: %w", err)
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// writeSeries exports the per-iteration series, JSON or CSV by extension.
+func writeSeries(tr *esrp.Trace, path string) error {
+	if tr == nil {
+		return fmt.Errorf("no series recorded")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = tr.WriteSeriesJSON(f)
+	} else {
+		err = tr.WriteSeriesCSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func loadMatrix(file, gen string, n int, seed int64) (*esrp.CSR, string, error) {

@@ -59,6 +59,7 @@ import (
 	"esrp/internal/faultsim"
 	"esrp/internal/harness"
 	"esrp/internal/matgen"
+	"esrp/internal/obs"
 	"esrp/internal/precond"
 	"esrp/internal/sparse"
 )
@@ -194,6 +195,41 @@ func SolvePipelined(cfg Config) (*Result, error) { return core.SolvePipelined(cf
 
 // ParseStrategy converts a strategy name ("esr", "esrp", "imcr", "none").
 func ParseStrategy(s string) (Strategy, error) { return core.ParseStrategy(s) }
+
+// Observability: simulated-clock tracing and metrics (see internal/obs and
+// DESIGN.md § Observability).
+type (
+	// ObserveOptions opts a solve into span tracing and/or the
+	// per-iteration metric series (Config.Observe). A nil Observe keeps the
+	// instrumentation-free hot path: bit-identical results, zero overhead.
+	ObserveOptions = obs.Options
+	// Trace is a traced solve's observability artifact (Result.Trace):
+	// per-rank span timelines on the simulated clock, recovery envelopes,
+	// the iteration series, and the build stamp. Trace.WriteChrome exports
+	// Chrome trace_event JSON viewable in Perfetto.
+	Trace = obs.Trace
+	// Span is one timed section of a rank's simulated-clock timeline.
+	Span = obs.Span
+	// SpanKind labels what a span measured (spmv halves, halo exchange,
+	// collectives, checkpoint shipments, recovery sections, …).
+	SpanKind = obs.Kind
+	// IterPoint is one sample of the per-iteration metric series.
+	IterPoint = obs.IterPoint
+	// RecoveryStat condenses one failure event's recovery envelopes
+	// (Trace.RecoveryStats).
+	RecoveryStat = obs.RecoveryStat
+	// BuildInfo is the build provenance stamp (Go version, VCS revision)
+	// carried by traces and exports.
+	BuildInfo = obs.BuildInfo
+)
+
+// CurrentBuild reports the running binary's build provenance, read from the
+// embedded debug build information.
+func CurrentBuild() BuildInfo { return obs.CurrentBuild() }
+
+// ValidateChromeTrace structurally checks Chrome trace_event JSON as emitted
+// by Trace.WriteChrome (used by the CLI's self-check and the CI gate).
+func ValidateChromeTrace(data []byte) error { return obs.ValidateChromeTrace(data) }
 
 // DefaultCostModel returns the LogGP parameters loosely calibrated to the
 // paper's VSC3 platform.

@@ -21,10 +21,12 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"esrp/internal/cluster"
 	"esrp/internal/core"
 	"esrp/internal/faultsim"
+	"esrp/internal/obs"
 	"esrp/internal/precond"
 	"esrp/internal/sparse"
 )
@@ -66,6 +68,23 @@ type Grid struct {
 	// Workers bounds the number of cells solved concurrently on the host
 	// (default: GOMAXPROCS). Each cell spawns its own simulated cluster.
 	Workers int
+
+	// TraceSample enables span tracing on every N-th cell of the enumerated
+	// grid (1 = every cell, 0 = off). Sampling keys on the cell's position
+	// in the deterministic grid order, so the traced subset — and each
+	// trace's content — is independent of Workers.
+	TraceSample int
+
+	// OnCellTrace receives the trace of every sampled cell. It is called
+	// from worker goroutines and must be safe for concurrent use. Traces are
+	// delivered only through this callback; the report itself is unchanged
+	// by sampling.
+	OnCellTrace func(index int, c *Cell, tr *obs.Trace)
+
+	// Progress, when set, is called after each finished cell with the count
+	// of completed cells and the grid size — the hook for live progress
+	// meters. Called from worker goroutines.
+	Progress func(done, total int)
 }
 
 // Cell is one grid point: its coordinates, the compiled scenario, and the
@@ -288,6 +307,8 @@ func Run(g Grid) (*Report, error) {
 	// solver's vector buffers instead of re-allocating them.
 	jobs := make(chan int)
 	var wg sync.WaitGroup
+	var done atomic.Int64
+	total := len(cells)
 	for w := 0; w < g.Workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -295,7 +316,10 @@ func Run(g Grid) (*Report, error) {
 			ws := core.NewWorkspace()
 			for i := range jobs {
 				c := &cells[i]
-				g.runCell(c, matrices[c.Matrix], preps[prepKeyOf(c)], ws)
+				g.runCell(i, c, matrices[c.Matrix], preps[prepKeyOf(c)], ws)
+				if g.Progress != nil {
+					g.Progress(int(done.Add(1)), total)
+				}
 			}
 		}()
 	}
@@ -397,8 +421,9 @@ func (g Grid) prepareContexts(cells []Cell, matrices map[string]MatrixSpec) map[
 }
 
 // runCell compiles the cell's scenario, solves it, and condenses the result
-// in place.
-func (g Grid) runCell(c *Cell, m MatrixSpec, prep *core.Prepared, ws *core.Workspace) {
+// in place. index is the cell's position in the grid order (the trace
+// sampling key).
+func (g Grid) runCell(index int, c *Cell, m MatrixSpec, prep *core.Prepared, ws *core.Workspace) {
 	strat, err := core.ParseStrategy(c.Strategy)
 	if err != nil {
 		c.Err = err.Error()
@@ -445,6 +470,10 @@ func (g Grid) runCell(c *Cell, m MatrixSpec, prep *core.Prepared, ws *core.Works
 	if strat == core.StrategyESR || strat == core.StrategyESRP {
 		cfg.Spares = g.Spares
 	}
+	traced := g.TraceSample > 0 && index%g.TraceSample == 0 && g.OnCellTrace != nil
+	if traced {
+		cfg.Observe = &obs.Options{Trace: true}
+	}
 	res, err := core.Solve(cfg)
 	if err != nil {
 		c.Err = err.Error()
@@ -464,6 +493,9 @@ func (g Grid) runCell(c *Cell, m MatrixSpec, prep *core.Prepared, ws *core.Works
 	c.ActiveNodes = res.ActiveNodes
 	c.Kernels = core.CondenseKernels(res.Kernels)
 	c.Recoveries = res.Events
+	if traced && res.Trace != nil {
+		g.OnCellTrace(index, c, res.Trace)
+	}
 }
 
 // aggKey orders groups deterministically.

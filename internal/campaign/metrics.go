@@ -1,0 +1,89 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"esrp/internal/obs"
+)
+
+// WriteMetrics emits the report as a Prometheus textfile snapshot — the
+// format node_exporter's textfile collector scrapes — so a campaign's
+// outcome can land on a dashboard without a bespoke exporter. The output is
+// deterministic: campaign-level counters first, then one gauge family per
+// aggregate statistic with the aggregates in report (sorted) order, and the
+// build stamp last. All values come from the finished report; this is a
+// snapshot, not a live endpoint.
+func (r *Report) WriteMetrics(w io.Writer, build obs.BuildInfo) error {
+	var b strings.Builder
+
+	var cells, errs, converged, recoveries, wasted int
+	var simTime, recovTime float64
+	var bytesSent int64
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		cells++
+		if c.Err != "" {
+			errs++
+			continue
+		}
+		if c.Converged {
+			converged++
+		}
+		recoveries += len(c.Recoveries)
+		wasted += c.WastedIters
+		simTime += c.SimTime
+		recovTime += c.RecoveryTime
+		bytesSent += c.BytesSent
+	}
+
+	counter := func(name, help string, v string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %s\n", name, help, name, name, v)
+	}
+	counter("esrp_campaign_cells_total", "Grid cells the campaign ran.", strconv.Itoa(cells))
+	counter("esrp_campaign_cell_errors_total", "Cells that failed to run.", strconv.Itoa(errs))
+	counter("esrp_campaign_cells_converged_total", "Cells whose solve converged.", strconv.Itoa(converged))
+	counter("esrp_campaign_recoveries_total", "Failure events recovered from across all cells.", strconv.Itoa(recoveries))
+	counter("esrp_campaign_wasted_iters_total", "Iterations discarded to rollback across all cells.", strconv.Itoa(wasted))
+	counter("esrp_campaign_sim_time_seconds_total", "Summed simulated solve time across cells.", formatFloat(simTime))
+	counter("esrp_campaign_recovery_seconds_total", "Summed simulated recovery time across cells.", formatFloat(recovTime))
+	counter("esrp_campaign_bytes_sent_total", "Summed simulated network traffic across cells.", strconv.FormatInt(bytesSent, 10))
+
+	gauge := func(name, help string, value func(a *Aggregate) string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for i := range r.Aggregates {
+			a := &r.Aggregates[i]
+			fmt.Fprintf(&b, "%s{matrix=%q,nodes=\"%d\",strategy=%q,t=\"%d\",phi=\"%d\"} %s\n",
+				name, escapeLabel(a.Matrix), a.Nodes, escapeLabel(a.Strategy), a.T, a.Phi, value(a))
+		}
+	}
+	gauge("esrp_campaign_median_time_seconds", "Median simulated solve time over the group's seeds.",
+		func(a *Aggregate) string { return formatFloat(a.MedianTime) })
+	gauge("esrp_campaign_median_recovery_seconds", "Median simulated recovery time over the group's seeds.",
+		func(a *Aggregate) string { return formatFloat(a.MedianRecovery) })
+	gauge("esrp_campaign_converged_rate", "Fraction of the group's cells that converged.",
+		func(a *Aggregate) string { return formatFloat(a.ConvergedRate) })
+	gauge("esrp_campaign_max_node_bytes", "Peak per-node memory footprint over the group's seeds.",
+		func(a *Aggregate) string { return strconv.FormatInt(a.MaxNodeBytes, 10) })
+
+	fmt.Fprintf(&b, "# HELP esrp_build_info Build provenance of the binary that ran the campaign.\n")
+	fmt.Fprintf(&b, "# TYPE esrp_build_info gauge\n")
+	fmt.Fprintf(&b, "esrp_build_info{go_version=%q,vcs_revision=%q,vcs_modified=%q} 1\n",
+		escapeLabel(build.GoVersion), escapeLabel(build.Revision), strconv.FormatBool(build.Modified))
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel guards the few characters the Prometheus text format reserves
+// inside label values (the %q verb already escapes quotes and backslashes in
+// a compatible way, so only raw newlines need flattening beforehand).
+func escapeLabel(s string) string {
+	return strings.ReplaceAll(s, "\n", " ")
+}

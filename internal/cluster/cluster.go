@@ -48,6 +48,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"esrp/internal/obs"
 )
 
 // CostModel holds the LogGP-style machine parameters of the simulated
@@ -178,6 +180,8 @@ type Comm struct {
 	arenaMu sync.Mutex
 	arenas  map[string]*arena // collective arenas keyed by member-rank set
 
+	rec *obs.Recorder // nil = no instrumentation (the default)
+
 	finalClocks []float64 // filled by Run
 	wallTime    time.Duration
 }
@@ -200,6 +204,12 @@ func New(n int, model CostModel) *Comm {
 	c.rootView.ar = c.arenaFor(c.rootView.ranks)
 	return c
 }
+
+// Observe attaches an observability recorder: each node's goroutine then
+// records collective spans (and whatever the layers above add) into its
+// own per-rank buffer. Must be called before Run; a nil recorder (or not
+// calling Observe at all) keeps the zero-overhead disabled path.
+func (c *Comm) Observe(rec *obs.Recorder) { c.rec = rec }
 
 // N returns the number of nodes.
 func (c *Comm) N() int { return c.n }
@@ -274,7 +284,7 @@ func (c *Comm) Run(body func(nd *Node)) error {
 				comm:  c,
 				view:  c.rootView,
 				g:     g,
-				state: &nodeState{},
+				state: &nodeState{trace: c.rec.Rank(g)},
 			}
 			body(nd)
 			c.finalClocks[g] = nd.state.clock
@@ -415,6 +425,7 @@ type nodeState struct {
 	flops     float64
 	bytesSent int64
 	msgsSent  int64
+	trace     *obs.Rank // nil unless Comm.Observe attached a recorder
 }
 
 // Node is one simulated cluster node's handle, bound to a communicator view.
@@ -471,6 +482,15 @@ func (nd *Node) Flops() float64 { return nd.state.flops }
 
 // BytesSent returns the payload bytes this node has sent.
 func (nd *Node) BytesSent() int64 { return nd.state.bytesSent }
+
+// MsgsSent returns the number of point-to-point messages this node has
+// sent (collective traffic accounted as the retired star's messages).
+func (nd *Node) MsgsSent() int64 { return nd.state.msgsSent }
+
+// Trace returns the node's observability buffer — nil when no recorder is
+// attached, which every obs.Rank method tolerates, so callers instrument
+// unconditionally. Shared across Sub handles (it lives on nodeState).
+func (nd *Node) Trace() *obs.Rank { return nd.state.trace }
 
 // account books msgs messages of bytes total payload against the node and
 // the machine-wide counters (the modeled traffic of a collective that the
@@ -702,6 +722,7 @@ func (nd *Node) Allreduce(op Op, x []float64) {
 
 	slot := a.slot(bank, me, len(x))
 	copy(slot, x)
+	t0 := nd.state.clock
 	a.clocks[bank][me] = nd.state.clock
 	a.await() // all contributions published
 
@@ -715,6 +736,7 @@ func (nd *Node) Allreduce(op Op, x []float64) {
 		}
 	}
 	nd.state.clock = tmax + nd.collectiveCost(8*len(x))
+	nd.state.trace.Span(obs.KindAllreduce, t0, nd.state.clock)
 
 	payloadBytes := int64(8 * (len(x) + 1)) // star payload: body + clock
 	if me == 0 {
@@ -746,6 +768,7 @@ func (nd *Node) Bcast(root int, data []float64) {
 	a := nd.view.ar
 	bank := int(nd.collSeq & 1)
 	nd.collSeq++
+	t0 := nd.state.clock
 	if me == root {
 		slot := a.slot(bank, me, len(data))
 		copy(slot, data)
@@ -760,6 +783,7 @@ func (nd *Node) Bcast(root int, data []float64) {
 		copy(data, a.slots[bank][root][:len(data)])
 		nd.state.clock = math.Max(a.clocks[bank][root], nd.state.clock) + cost
 	}
+	nd.state.trace.Span(obs.KindBcast, t0, nd.state.clock)
 }
 
 // Gather collects each member's data slice at view-rank root. On root it
@@ -773,6 +797,7 @@ func (nd *Node) Gather(root int, data []float64) [][]float64 {
 
 	slot := a.slot(bank, me, len(data))
 	copy(slot, data)
+	t0 := nd.state.clock
 	a.clocks[bank][me] = nd.state.clock
 	if me != root {
 		// The sender's clock advances only by its own send overhead; gather
@@ -801,5 +826,6 @@ func (nd *Node) Gather(root int, data []float64) [][]float64 {
 		nd.state.clock = tmax + nd.comm.model.Latency*math.Ceil(math.Log2(float64(max(n, 2)))) +
 			float64(totalBytes)*nd.comm.model.BytePeriod
 	}
+	nd.state.trace.Span(obs.KindGather, t0, nd.state.clock)
 	return out
 }

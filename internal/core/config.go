@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"esrp/internal/cluster"
+	"esrp/internal/obs"
 	"esrp/internal/precond"
 	"esrp/internal/sparse"
 )
@@ -210,6 +211,16 @@ type Config struct {
 	// consecutive solves (see Workspace). A Workspace must not be shared by
 	// two solves running at the same time; nil allocates fresh vectors.
 	Workspace *Workspace
+
+	// Observe enables the observability layer (internal/obs): per-rank span
+	// timelines on the simulated clock and/or the per-iteration metric
+	// series, returned in Result.Trace. Nil (the default) records nothing
+	// and adds zero overhead — the recorder is nil-checked on every hot
+	// path, so trajectories, the simulated clock and the zero-allocation
+	// guarantees are bit-identical with observation off. With observation
+	// on, the recorded data is itself deterministic (simulated timestamps,
+	// single-writer per-rank buffers).
+	Observe *obs.Options
 }
 
 // withDefaults returns a copy of cfg with defaults applied, or an error if
@@ -433,6 +444,12 @@ type Result struct {
 	Kernels []string
 
 	Residuals []float64 // per-iteration ‖r‖/‖b‖ if RecordResiduals
+
+	// Trace is the observability record of the solve — span timelines,
+	// recovery envelopes, the per-iteration series — when Config.Observe
+	// asked for one; nil otherwise. Export with Trace.WriteChrome
+	// (perfetto-viewable) or inspect via the structured API.
+	Trace *obs.Trace
 }
 
 // CondenseKernels condenses per-node kernel layout names (Result.Kernels)

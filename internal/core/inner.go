@@ -7,6 +7,7 @@ import (
 	"esrp/internal/aspmv"
 	"esrp/internal/cluster"
 	"esrp/internal/dist"
+	"esrp/internal/obs"
 	"esrp/internal/precond"
 	"esrp/internal/sparse"
 	"esrp/internal/vec"
@@ -122,13 +123,21 @@ func innerPCG(nd *cluster.Node, a *sparse.CSR, plan *aspmv.Plan, ipart *dist.Par
 		nd.Allreduce(cluster.OpSum, buf[:])
 		return buf[0], buf[1]
 	}
+	// Inner-solve compute lands under its own span kind so the
+	// reconstruction's nested PCG is distinguishable from outer-loop work
+	// on the timeline (its collectives and SpMV halves keep their own kinds).
+	compute := func(flops float64) {
+		t0 := nd.Clock()
+		nd.Compute(flops)
+		nd.Trace().Span(obs.KindInnerSolve, t0, nd.Clock())
+	}
 
 	pc.Apply(z, r)
-	nd.Compute(pc.ApplyFlops())
+	compute(pc.ApplyFlops())
 	copy(p, z)
 	rzLoc := vec.Dot(r, z)
 	bbLoc := vec.Dot(b, b)
-	nd.Compute(4 * float64(m))
+	compute(4 * float64(m))
 	rz, bb := dot2(rzLoc, bbLoc)
 	bNorm := math.Sqrt(bb)
 	if bNorm == 0 {
@@ -140,23 +149,23 @@ func innerPCG(nd *cluster.Node, a *sparse.CSR, plan *aspmv.Plan, ipart *dist.Par
 		ex.MulOverlapped(nd, kern, q, pg, blocking)
 
 		pqLoc := vec.Dot(p, q)
-		nd.Compute(2 * float64(m))
+		compute(2 * float64(m))
 		pq := nd.AllreduceScalar(cluster.OpSum, pqLoc)
 		if pq == 0 {
 			break
 		}
 		alpha := rz / pq
 		vec.AxpyPair(alpha, p, x, -alpha, q, r)
-		nd.Compute(4 * float64(m))
+		compute(4 * float64(m))
 		pc.Apply(z, r)
-		nd.Compute(pc.ApplyFlops())
+		compute(pc.ApplyFlops())
 		var rrLoc float64
 		rzLoc, rrLoc = vec.Dot2(r, z)
-		nd.Compute(4 * float64(m))
+		compute(4 * float64(m))
 		rzNew, rr := dot2(rzLoc, rrLoc)
 		beta := rzNew / rz
 		vec.XpayInto(p, z, beta, p)
-		nd.Compute(2 * float64(m))
+		compute(2 * float64(m))
 		rz = rzNew
 		if math.Sqrt(rr)/bNorm < rtol {
 			break

@@ -7,6 +7,7 @@ import (
 	"esrp/internal/aspmv"
 	"esrp/internal/cluster"
 	"esrp/internal/dist"
+	"esrp/internal/obs"
 	"esrp/internal/precond"
 	"esrp/internal/sparse"
 )
@@ -85,6 +86,7 @@ func (run *nodeRun) recoverNoSpare(j int, failed []int) (int, string) {
 		pPrev = make([]float64, fsize)
 		pCur = make([]float64, fsize)
 	}
+	tGather := run.nd.Clock()
 	for pass, tag := range []int{tagRecoverP0, tagRecoverP1} {
 		iter := jrec - 1 + pass
 		c := st.queue.Get(iter)
@@ -125,6 +127,7 @@ func (run *nodeRun) recoverNoSpare(j int, failed []int) (int, string) {
 			}
 		}
 	}
+	run.tr.Span(obs.KindRecoverGather, tGather, run.nd.Clock())
 	if len(run.events) > 1 {
 		// Multi-event timelines can leave the gather incomplete (a holder
 		// lost its queue to an earlier event, or the event width exceeds the
@@ -163,7 +166,9 @@ func (run *nodeRun) recoverNoSpare(j int, failed []int) (int, string) {
 
 	// Halo of the surviving iterand x for Alg. 2 line 7, collected at the
 	// adopter into a full-length buffer.
+	tGather = run.nd.Clock()
 	xHalo := run.gatherXHalo(failed, adopter)
+	run.tr.Span(obs.KindRecoverGather, tGather, run.nd.Clock())
 
 	// Exact state reconstruction of the failed range, local to the adopter.
 	var rIf, zIf, xIf []float64
@@ -181,10 +186,10 @@ func (run *nodeRun) recoverNoSpare(j int, failed []int) (int, string) {
 		for i := range zIf {
 			zIf[i] = pCur[i] - betaStar*pPrev[i]
 		}
-		run.nd.Compute(2 * float64(fsize))
+		run.compute(obs.KindReconstruct, 2*float64(fsize))
 		rIf = make([]float64, fsize)
 		failedPC.SolveRestricted(rIf, zIf)
-		run.nd.Compute(failedPC.SolveRestrictedFlops())
+		run.compute(obs.KindReconstruct, failedPC.SolveRestrictedFlops())
 		w := make([]float64, fsize)
 		var nnzf float64
 		for i := flo; i < fhi; i++ {
@@ -198,7 +203,7 @@ func (run *nodeRun) recoverNoSpare(j int, failed []int) (int, string) {
 			w[i-flo] = run.cfg.B[i] - rIf[i-flo] - s
 			nnzf += float64(len(cols))
 		}
-		run.nd.Compute(2 * nnzf)
+		run.compute(obs.KindReconstruct, 2*nnzf)
 		xIf = run.innerSolveLocal(flo, fhi, w, failedPC)
 	}
 

@@ -7,6 +7,7 @@ import (
 	"esrp/internal/aspmv"
 	"esrp/internal/cluster"
 	"esrp/internal/dist"
+	"esrp/internal/obs"
 	"esrp/internal/vec"
 )
 
@@ -62,6 +63,8 @@ func SolvePipelined(cfg Config) (*Result, error) {
 		ws.reset(cfg.Nodes)
 	}
 	comm := cluster.New(cfg.Nodes, model)
+	rec := newRecorder(&cfg)
+	comm.Observe(rec)
 	result := &Result{}
 	nodeMem := make([]int64, cfg.Nodes)
 	nodeHalo := make([]int64, cfg.Nodes)
@@ -82,6 +85,9 @@ func SolvePipelined(cfg Config) (*Result, error) {
 	result.BytesSent = comm.BytesSent()
 	result.MsgsSent = comm.MsgsSent()
 	result.MaxNodeBytes, result.HaloBytes = reduceFootprint(nodeMem, nodeHalo)
+	if rec != nil {
+		result.Trace = rec.Build(result.SimTime)
+	}
 	return result, nil
 }
 
@@ -156,12 +162,12 @@ func (run *pipeRun) bootstrap() {
 	}
 	run.spmvInto(run.q, run.x)
 	vec.Sub(run.r, bLoc, run.q)
-	run.nd.Compute(float64(run.m))
+	run.compute(obs.KindVec, float64(run.m))
 	run.pc.Apply(run.u, run.r)
-	run.nd.Compute(run.pc.ApplyFlops())
+	run.compute(obs.KindPrecond, run.pc.ApplyFlops())
 	run.spmvInto(run.w, run.u)
 	bb := vec.Dot(bLoc, bLoc)
-	run.nd.Compute(2 * float64(run.m))
+	run.compute(obs.KindVec, 2*float64(run.m))
 	bb = run.nd.AllreduceScalar(cluster.OpSum, bb)
 	run.bNormGlobal = math.Sqrt(bb)
 	if run.bNormGlobal == 0 {
@@ -190,18 +196,20 @@ func (run *pipeRun) main(result *Result) {
 	j := 0
 	firstIter := true
 	for ; j < cfg.MaxIter; totalSteps++ {
+		run.tr.SetIter(j)
 		// Fused allreduce: γ = (r,u), δ = (w,u), ‖r‖² — the single
 		// synchronization point per iteration, with the three local partial
 		// sums fused into one sweep over r, u, w.
 		gammaLoc, deltaLoc, rrLoc := vec.Dot3(run.r, run.u, run.w)
 		buf := [3]float64{gammaLoc, deltaLoc, rrLoc}
-		run.nd.Compute(6 * float64(run.m))
+		run.compute(obs.KindVec, 6*float64(run.m))
 		run.nd.Allreduce(cluster.OpSum, buf[:])
 		gamma, delta, rr := buf[0], buf[1], buf[2]
 		relres = math.Sqrt(rr) / run.bNormGlobal
 		if cfg.RecordResiduals && run.nd.Rank() == 0 {
 			run.residLog = append(run.residLog, relres)
 		}
+		run.tr.Point(totalSteps, j, relres, run.nd.Clock(), run.nd.BytesSent(), run.nd.MsgsSent())
 		if relres < cfg.Rtol {
 			converged = true
 			break
@@ -210,7 +218,7 @@ func (run *pipeRun) main(result *Result) {
 		// Overlapped work: m = P·w, n = A·m (the SpMV whose halo exchange
 		// hides the allreduce in a real implementation).
 		run.pc.Apply(run.mv, run.w)
-		run.nd.Compute(run.pc.ApplyFlops())
+		run.compute(obs.KindPrecond, run.pc.ApplyFlops())
 		run.spmvInto(run.nv, run.mv)
 
 		// Failure injection point: after the SpMV of the marked iteration.
@@ -245,13 +253,14 @@ func (run *pipeRun) main(result *Result) {
 		vec.XpayInto(run.p, run.u, beta, run.p)
 		vec.AxpyPair(alpha, run.p, run.x, -alpha, run.s, run.r)
 		vec.AxpyPair(-alpha, run.qv, run.u, -alpha, run.zv, run.w)
-		run.nd.Compute(16 * float64(run.m))
+		run.compute(obs.KindVec, 16*float64(run.m))
 
 		run.gammaOld, run.alphaOld = gamma, alpha
 		j++
 		run.pipeCheckpoint(j)
 	}
 
+	run.tr.SetIter(-1)
 	drift := run.pipeDrift(relres)
 	recovery := run.nd.AllreduceScalar(cluster.OpMax, run.recoveryTime)
 	xParts := run.nd.Gather(0, run.x)
@@ -308,7 +317,7 @@ func (run *pipeRun) pipeDrift(finalRelres float64) float64 {
 		d := bLoc[i] - run.q[i]
 		trueLoc += d * d
 	}
-	run.nd.Compute(3 * float64(run.m))
+	run.compute(obs.KindVec, 3*float64(run.m))
 	trueNorm := math.Sqrt(run.nd.AllreduceScalar(cluster.OpSum, trueLoc))
 	if trueNorm == 0 {
 		return 0
@@ -335,6 +344,7 @@ func (run *pipeRun) pipeCheckpoint(j int) {
 	payload = append(payload, run.gammaOld, run.alphaOld)
 	ck.ownIter = j
 	ck.ownData = payload
+	tCkpt := run.nd.Clock()
 	for _, b := range ck.buddies {
 		run.nd.Send(b, tagCheckpoint, payload)
 	}
@@ -344,6 +354,7 @@ func (run *pipeRun) pipeCheckpoint(j int) {
 		}
 		ck.held[src] = run.nd.Recv(src, tagCheckpoint)
 	}
+	run.tr.Span(obs.KindCheckpoint, tCkpt, run.nd.Clock())
 }
 
 // pipeRestore loads a checkpoint payload into the solver state.
@@ -375,8 +386,16 @@ func (run *pipeRun) pipeLose() {
 // pipeRecover handles an injected failure: IMCR rollback when a checkpoint
 // exists, local restart otherwise.
 func (run *pipeRun) pipeRecover(j int, failed []int) (int, string) {
+	tEnv := run.nd.Clock()
+	run.tr.SetPhase(obs.PhaseRecovery)
+	defer func() {
+		run.tr.Envelope(j, tEnv, run.nd.Clock())
+		run.tr.SetPhase(obs.PhaseSteady)
+	}()
 	if dt := run.cfg.DetectionTime; dt > 0 {
+		tDet := run.nd.Clock()
 		run.nd.AddClock(dt) // failure detection + communicator repair
+		run.tr.Span(obs.KindDetect, tDet, run.nd.Clock())
 		defer func() { run.recoveryTime += dt }()
 	}
 	amFailed := run.amFailed(failed)
@@ -401,6 +420,7 @@ func (run *pipeRun) pipeRecover(j int, failed []int) (int, string) {
 	}
 
 	n := run.cfg.Nodes
+	tGather := run.nd.Clock()
 	for _, fr := range failed {
 		sender := -1
 		for k := 1; k <= run.cfg.Phi; k++ {
@@ -432,10 +452,12 @@ func (run *pipeRun) pipeRecover(j int, failed []int) (int, string) {
 	if !amFailed {
 		run.pipeRestore(ck.ownData)
 	}
+	run.tr.Span(obs.KindRecoverGather, tGather, run.nd.Clock())
 	if run.pendingEvents() {
 		// Re-run the checkpoint exchange for the restored state so that a
 		// follow-up event whose surviving buddy is a just-recovered node
 		// still finds a checkpoint to restore from (mirrors recoverIMCR).
+		tCkpt := run.nd.Clock()
 		for _, b := range ck.buddies {
 			run.nd.Send(b, tagCheckpoint, ck.ownData)
 		}
@@ -445,11 +467,12 @@ func (run *pipeRun) pipeRecover(j int, failed []int) (int, string) {
 			}
 			ck.held[src] = run.nd.Recv(src, tagCheckpoint)
 		}
+		run.tr.Span(obs.KindCheckpoint, tCkpt, run.nd.Clock())
 	}
 	// Re-establish ‖b‖ (replicated scalar lost on the failed nodes).
 	bLoc := run.cfg.B[run.lo:run.hi]
 	bb := vec.Dot(bLoc, bLoc)
-	run.nd.Compute(2 * float64(run.m))
+	run.compute(obs.KindVec, 2*float64(run.m))
 	run.bNormGlobal = math.Sqrt(run.nd.AllreduceScalar(cluster.OpSum, bb))
 	if run.bNormGlobal == 0 {
 		run.bNormGlobal = 1

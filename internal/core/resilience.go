@@ -7,6 +7,7 @@ import (
 
 	"esrp/internal/aspmv"
 	"esrp/internal/cluster"
+	"esrp/internal/obs"
 	"esrp/internal/vec"
 )
 
@@ -171,6 +172,7 @@ func (st *imcrState) afterIteration(j int, _ float64) {
 		return
 	}
 	run := st.run
+	tCkpt := run.nd.Clock()
 	// The state now in x, r, z, p is the state at the start of iteration
 	// j+1, so the restorable checkpoint is for iteration j+1 — the same
 	// recovery point ESRP's storage stage at (j, j+1) yields. The payload
@@ -196,6 +198,7 @@ func (st *imcrState) afterIteration(j int, _ float64) {
 		st.held[src] = run.nd.Recv(src, tagCheckpoint)
 		st.heldIt[src] = j + 1
 	}
+	run.tr.Span(obs.KindCheckpoint, tCkpt, run.nd.Clock())
 }
 
 func (st *imcrState) stateBytes() int64 {
@@ -275,8 +278,15 @@ func (run *nodeRun) handleFailure(j int, ev *FailureSpec) (int, string) {
 		run.logEvent(ev, failed, RecoverySkipped, j, j)
 		return j, RecoverySkipped
 	}
+	// All spans until the restored scalars belong to this event's recovery
+	// phase; the KindRecovery envelope recorded at the end encloses them
+	// for the per-event breakdown.
+	tEnv := run.nd.Clock()
+	run.tr.SetPhase(obs.PhaseRecovery)
 	if dt := run.cfg.DetectionTime; dt > 0 {
+		t0 := run.nd.Clock()
 		run.nd.AddClock(dt) // failure detection + communicator repair
+		run.tr.Span(obs.KindDetect, t0, run.nd.Clock())
 	}
 	var jrec int
 	var mode string
@@ -303,6 +313,8 @@ func (run *nodeRun) handleFailure(j int, ev *FailureSpec) (int, string) {
 	// The protocols measure their own elapsed time from after the detection
 	// charge, so the detection cost is added on top here.
 	run.recoveryTime += run.cfg.DetectionTime
+	run.tr.Envelope(j, tEnv, run.nd.Clock())
+	run.tr.SetPhase(obs.PhaseSteady)
 	if !run.retired {
 		run.logEvent(ev, failed, mode, jrec, j)
 	}
@@ -343,13 +355,13 @@ func (run *nodeRun) initFromX() {
 	copy(run.p, run.x)
 	run.spmv(false, -1)
 	vec.Sub(run.r, bLoc, run.q)
-	run.nd.Compute(float64(run.m))
+	run.compute(obs.KindVec, float64(run.m))
 	run.pc.Apply(run.z, run.r)
-	run.nd.Compute(run.pc.ApplyFlops())
+	run.compute(obs.KindPrecond, run.pc.ApplyFlops())
 	copy(run.p, run.z)
 	rzLoc := vec.Dot(run.r, run.z)
 	bbLoc := vec.Dot(bLoc, bLoc)
-	run.nd.Compute(4 * float64(run.m))
+	run.compute(obs.KindVec, 4*float64(run.m))
 	run.rz, run.bNormGlobal = run.dot2(rzLoc, bbLoc)
 	run.bNormGlobal = math.Sqrt(run.bNormGlobal)
 	if run.bNormGlobal == 0 {
@@ -426,6 +438,7 @@ func (run *nodeRun) recoverESR(j int, failed []int) (int, string) {
 	if amFailed {
 		run.notePeak(8 * int64(3*run.m+7*run.m /* w + inner PCG vectors */))
 	}
+	tGather := run.nd.Clock()
 	for pass, tag := range []int{tagRecoverP0, tagRecoverP1} {
 		iter := jrec - 1 + pass
 		if !amFailed {
@@ -457,6 +470,7 @@ func (run *nodeRun) recoverESR(j int, failed []int) (int, string) {
 			}
 		}
 	}
+	run.tr.Span(obs.KindRecoverGather, tGather, run.nd.Clock())
 	if len(run.events) > 1 {
 		// Multi-event timelines can leave the gathered copies incomplete: a
 		// holder that itself failed earlier lost its queue, and the stage
@@ -499,6 +513,7 @@ func (run *nodeRun) recoverESR(j int, failed []int) (int, string) {
 	// this point, refreshed by the next exchange anyway).
 	me := run.nd.Rank()
 	xg := run.pg[run.m:]
+	tGather = run.nd.Clock()
 	if !amFailed {
 		for _, fr := range failed {
 			for _, t := range run.plan.Recv[fr] {
@@ -523,6 +538,7 @@ func (run *nodeRun) recoverESR(j int, failed []int) (int, string) {
 			copy(xg[run.plan.RecvGhostOffset(me, ti):], vals)
 		}
 	}
+	run.tr.Span(obs.KindRecoverGather, tGather, run.nd.Clock())
 
 	// Exact state reconstruction on the replacement nodes (Alg. 2).
 	if amFailed {
@@ -530,11 +546,11 @@ func (run *nodeRun) recoverESR(j int, failed []int) (int, string) {
 		for i := 0; i < run.m; i++ {
 			run.z[i] = pCur[i] - betaStar*pPrev[i]
 		}
-		run.nd.Compute(2 * float64(run.m))
+		run.compute(obs.KindReconstruct, 2*float64(run.m))
 		// Lines 5–6: v = z_If − P[If,I\If]·r (zero off-part for node-local
 		// preconditioners), then solve P[If,If]·r_If = v.
 		run.pc.SolveRestricted(run.r, run.z)
-		run.nd.Compute(run.pc.SolveRestrictedFlops())
+		run.compute(obs.KindReconstruct, run.pc.SolveRestrictedFlops())
 		// Line 7: w = b_If − r_If − A[If,I\If]·x_(I\If), on the compact
 		// local matrix: owned columns lie inside If by construction, ghost
 		// columns owned by other failed ranks are inner-system unknowns —
@@ -556,7 +572,7 @@ func (run *nodeRun) recoverESR(j int, failed []int) (int, string) {
 			}
 			w[i] = bLoc[i] - run.r[i] - s
 		}
-		run.nd.Compute(2 * run.nnzLocal)
+		run.compute(obs.KindReconstruct, 2*run.nnzLocal)
 		// Line 8: solve A[If,If]·x_If = w on the replacement nodes.
 		run.innerSolve(failed, flo, fhi, w)
 		copy(run.p, pCur)
@@ -613,7 +629,7 @@ func (run *nodeRun) restoreScalars(betaStar float64, st *esrState) {
 	bLoc := run.cfg.B[run.lo:run.hi]
 	rzLoc := vec.Dot(run.r, run.z)
 	bbLoc := vec.Dot(bLoc, bLoc)
-	run.nd.Compute(4 * float64(run.m))
+	run.compute(obs.KindVec, 4*float64(run.m))
 	run.rz, run.bNormGlobal = run.dot2(rzLoc, bbLoc)
 	run.bNormGlobal = math.Sqrt(run.bNormGlobal)
 	if run.bNormGlobal == 0 {
@@ -654,6 +670,7 @@ func (run *nodeRun) recoverIMCR(j int, failed []int) (int, string) {
 
 	// For each failed node, its designated sender is the first surviving
 	// buddy in Eq. 1 order — computable by every node without communication.
+	tGather := run.nd.Clock()
 	for _, fr := range failed {
 		var sender = -1
 		for k := 1; k <= run.cfg.Phi; k++ {
@@ -694,6 +711,7 @@ func (run *nodeRun) recoverIMCR(j int, failed []int) (int, string) {
 		copy(run.z, st.ownData[2*run.m:3*run.m])
 		copy(run.p, st.ownData[3*run.m:4*run.m])
 	}
+	run.tr.Span(obs.KindRecoverGather, tGather, run.nd.Clock())
 	if run.pendingEvents() {
 		// More events may strike before the next checkpoint stage, and the
 		// nodes that just failed hold no checkpoints of their sources any
@@ -701,6 +719,7 @@ func (run *nodeRun) recoverIMCR(j int, failed []int) (int, string) {
 		// every buddy relationship is whole again — otherwise a follow-up
 		// failure whose surviving buddy is a just-recovered node would find
 		// nothing to restore from.
+		tCkpt := run.nd.Clock()
 		for _, b := range st.buddies {
 			run.nd.Send(b, tagCheckpoint, st.ownData)
 		}
@@ -711,6 +730,7 @@ func (run *nodeRun) recoverIMCR(j int, failed []int) (int, string) {
 			st.held[src] = run.nd.Recv(src, tagCheckpoint)
 			st.heldIt[src] = jrec
 		}
+		run.tr.Span(obs.KindCheckpoint, tCkpt, run.nd.Clock())
 	}
 	run.restoreScalars(0, nil)
 	run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)

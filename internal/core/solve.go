@@ -7,6 +7,7 @@ import (
 	"esrp/internal/aspmv"
 	"esrp/internal/cluster"
 	"esrp/internal/dist"
+	"esrp/internal/obs"
 	"esrp/internal/precond"
 	"esrp/internal/sparse"
 	"esrp/internal/vec"
@@ -37,6 +38,8 @@ func Solve(cfg Config) (*Result, error) {
 		ws.reset(cfg.Nodes)
 	}
 	comm := cluster.New(cfg.Nodes, model)
+	rec := newRecorder(&cfg)
+	comm.Observe(rec)
 	result := &Result{}
 	// Per-node metric slots (each goroutine writes only its own index, like
 	// comm's final clocks): collected host-side after the run so the
@@ -63,7 +66,19 @@ func Solve(cfg Config) (*Result, error) {
 	result.BytesSent = comm.BytesSent()
 	result.MsgsSent = comm.MsgsSent()
 	result.MaxNodeBytes, result.HaloBytes = reduceFootprint(nodeMem, nodeHalo)
+	if rec != nil {
+		result.Trace = rec.Build(result.SimTime)
+	}
 	return result, nil
+}
+
+// newRecorder materializes the config's observability options: nil unless
+// something was asked for, so the disabled path costs nothing anywhere.
+func newRecorder(cfg *Config) *obs.Recorder {
+	if !cfg.Observe.Enabled() {
+		return nil
+	}
+	return obs.NewRecorder(*cfg.Observe, cfg.Nodes)
 }
 
 // reduceFootprint condenses the per-node metric slots: the largest dynamic
@@ -116,6 +131,12 @@ type nodeRun struct {
 	part *dist.Partition
 	plan *aspmv.Plan
 	pc   precond.Preconditioner
+
+	// tr is this rank's observability buffer — nil with observation off
+	// (every obs.Rank method no-ops on nil, so span sites carry no guards).
+	// It lives on the cluster node's shared state, so it survives the
+	// no-spare shrink's communicator replacement.
+	tr *obs.Rank
 
 	lo, hi   int // owned global index range
 	m        int // local size
@@ -232,7 +253,7 @@ func newNodeRun(cfg *Config, nd *cluster.Node, part *dist.Partition, plan *aspmv
 		alloc, allocZero = na.grab, na.grabZero
 	}
 	run := &nodeRun{
-		cfg: cfg, nd: nd, part: part, plan: plan, pc: pc,
+		cfg: cfg, nd: nd, part: part, plan: plan, pc: pc, tr: nd.Trace(),
 		lo: lo, hi: hi, m: hi - lo, nnzLocal: float64(local.NNZ()),
 		local: local, kern: kern, ex: plan.NewExchanger(s), alloc: alloc, allocZero: allocZero,
 		x: allocZero(hi - lo), r: alloc(hi - lo),
@@ -298,6 +319,17 @@ func (run *nodeRun) spmvInto(dst, src []float64) {
 	run.ex.MulOverlapped(run.nd, run.kern, dst, run.pg, run.cfg.BlockingExchange)
 }
 
+// compute advances the simulated clock by flops·FlopTime and attributes
+// the interval to kind on the node's span timeline. With observation off
+// this degenerates to nd.Compute: the clock reads are plain loads and the
+// span call no-ops on the nil buffer — no branches worth measuring, no
+// allocation, identical simulated time either way.
+func (run *nodeRun) compute(kind obs.Kind, flops float64) {
+	t0 := run.nd.Clock()
+	run.nd.Compute(flops)
+	run.tr.Span(kind, t0, run.nd.Clock())
+}
+
 // dot2 performs the fused allreduce of two local partial sums, the way an
 // optimized PCG batches its residual norms.
 func (run *nodeRun) dot2(a, b float64) (float64, float64) {
@@ -317,13 +349,13 @@ func (run *nodeRun) bootstrap() float64 {
 	copy(run.p, run.x)
 	run.spmv(false, -1)
 	vec.Sub(run.r, bLoc, run.q)
-	run.nd.Compute(float64(run.m))
+	run.compute(obs.KindVec, float64(run.m))
 	run.pc.Apply(run.z, run.r)
-	run.nd.Compute(run.pc.ApplyFlops())
+	run.compute(obs.KindPrecond, run.pc.ApplyFlops())
 	copy(run.p, run.z)
 	rzLoc, rrLoc := vec.Dot2(run.r, run.z)
 	bbLoc := vec.Dot(bLoc, bLoc)
-	run.nd.Compute(6 * float64(run.m))
+	run.compute(obs.KindVec, 6*float64(run.m))
 	buf := [3]float64{rzLoc, bbLoc, rrLoc}
 	run.nd.Allreduce(cluster.OpSum, buf[:])
 	run.rz = buf[0]
@@ -346,6 +378,7 @@ func (run *nodeRun) main(result *Result) {
 	converged := relres < cfg.Rtol // x0 may already satisfy the tolerance
 	j := 0
 	for ; !converged && j < cfg.MaxIter; totalSteps++ {
+		run.tr.SetIter(j)
 		// Storage-stage bookkeeping and the (possibly augmented) SpMV.
 		augmented := false
 		if run.res != nil {
@@ -377,12 +410,12 @@ func (run *nodeRun) main(result *Result) {
 
 		// α = r·z / p·(A p)
 		pqLoc := vec.Dot(run.p, run.q)
-		run.nd.Compute(2 * float64(run.m))
+		run.compute(obs.KindVec, 2*float64(run.m))
 		pq := run.nd.AllreduceScalar(cluster.OpSum, pqLoc)
 		alpha := run.rz / pq
 
 		vec.AxpyPair(alpha, run.p, run.x, -alpha, run.q, run.r)
-		run.nd.Compute(4 * float64(run.m))
+		run.compute(obs.KindVec, 4*float64(run.m))
 
 		// Residual replacement (ref. 27): swap the recurrence residual for
 		// the true residual before z, β and p are derived from it, so the
@@ -390,19 +423,19 @@ func (run *nodeRun) main(result *Result) {
 		if rr := cfg.ResidualReplacementInterval; rr > 0 && (j+1)%rr == 0 {
 			run.spmvInto(run.q, run.x)
 			vec.Sub(run.r, run.cfg.B[run.lo:run.hi], run.q)
-			run.nd.Compute(float64(run.m))
+			run.compute(obs.KindVec, float64(run.m))
 		}
 
 		run.pc.Apply(run.z, run.r)
-		run.nd.Compute(run.pc.ApplyFlops())
+		run.compute(obs.KindPrecond, run.pc.ApplyFlops())
 
 		rzLoc, rrLoc := vec.Dot2(run.r, run.z)
-		run.nd.Compute(4 * float64(run.m))
+		run.compute(obs.KindVec, 4*float64(run.m))
 		rzNew, rr := run.dot2(rzLoc, rrLoc)
 
 		beta := rzNew / run.rz
 		vec.XpayInto(run.p, run.z, beta, run.p)
-		run.nd.Compute(2 * float64(run.m))
+		run.compute(obs.KindVec, 2*float64(run.m))
 
 		run.rz = rzNew
 		run.betaPrev = beta
@@ -414,12 +447,16 @@ func (run *nodeRun) main(result *Result) {
 		if cfg.RecordResiduals && run.nd.Rank() == 0 {
 			run.residLog = append(run.residLog, relres)
 		}
+		// Series sample: only rank 0's buffer has the series enabled, so
+		// this is a no-op everywhere else (and everywhere with obs off).
+		run.tr.Point(totalSteps, j, relres, run.nd.Clock(), run.nd.BytesSent(), run.nd.MsgsSent())
 		j++
 		if relres < cfg.Rtol {
 			converged = true
 		}
 	}
 
+	run.tr.SetIter(-1) // epilogue: drift check and the final gather
 	drift := run.residualDrift(relres)
 	recovery := run.nd.AllreduceScalar(cluster.OpMax, run.recoveryTime)
 
@@ -487,7 +524,7 @@ func (run *nodeRun) residualDrift(finalRelres float64) float64 {
 		d := bLoc[i] - run.q[i]
 		trueLoc += d * d
 	}
-	run.nd.Compute(3 * float64(run.m))
+	run.compute(obs.KindVec, 3*float64(run.m))
 	trueSq := run.nd.AllreduceScalar(cluster.OpSum, trueLoc)
 	trueNorm := math.Sqrt(trueSq)
 	if trueNorm == 0 {

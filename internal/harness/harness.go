@@ -21,6 +21,7 @@ import (
 	"esrp/internal/cluster"
 	"esrp/internal/core"
 	"esrp/internal/dist"
+	"esrp/internal/obs"
 	"esrp/internal/precond"
 	"esrp/internal/sparse"
 )
@@ -101,6 +102,11 @@ type Spec struct {
 	// cluster getting smaller.
 	Timeline []core.FailureSpec
 	Spares   int
+
+	// Observe enables span tracing / iteration series on every run of the
+	// constellation (nil = off, the instrumentation-free hot path). The
+	// reference run's trace is kept on Report.RefTrace.
+	Observe *obs.Options
 }
 
 func (s Spec) withDefaults() (Spec, error) {
@@ -214,6 +220,10 @@ type Report struct {
 	// Scenario is the multi-failure scenario run (Spec.Timeline), nil when
 	// no timeline was configured.
 	Scenario *ScenarioCell
+
+	// RefTrace is the reference run's span timeline (nil unless
+	// Spec.Observe enables tracing).
+	RefTrace *obs.Trace
 }
 
 // ScenarioCell is the measured multi-failure scenario run: one solve under
@@ -274,6 +284,7 @@ func Run(spec Spec) (*Report, error) {
 	rep.RefMaxNodeBytes = ref.MaxNodeBytes
 	rep.RefHaloBytes = ref.HaloBytes
 	rep.Kernels = core.CondenseKernels(ref.Kernels)
+	rep.RefTrace = ref.Trace
 
 	for _, t := range spec.Ts {
 		for _, phi := range spec.Phis {
@@ -418,6 +429,7 @@ func (s Spec) config(cfg core.Config) core.Config {
 	cfg.CostModel = s.CostModel
 	cfg.BalanceNNZ = s.BalanceNNZ
 	cfg.Kernel = s.Kernel
+	cfg.Observe = s.Observe
 	return cfg
 }
 

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the binary that produced a measurement, so perf
+// artifacts (traces, BENCH_*.json rows, metric snapshots) stay
+// attributable to a toolchain and source revision.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"` // dirty working tree at build
+}
+
+// CurrentBuild reads the running binary's build metadata: the Go runtime
+// version always, and the VCS revision when the binary was built inside a
+// checkout (debug.ReadBuildInfo exposes vcs.* settings for module builds;
+// plain `go test` binaries usually carry none, leaving Revision empty).
+func CurrentBuild() BuildInfo {
+	bi := BuildInfo{GoVersion: runtime.Version()}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				bi.Revision = s.Value
+			case "vcs.modified":
+				bi.Modified = s.Value == "true"
+			}
+		}
+	}
+	return bi
+}

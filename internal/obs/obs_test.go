@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestKindTables(t *testing.T) {
+	cats := map[string]bool{"compute": true, "comm": true, "resilience": true}
+	for k := Kind(0); k < kindCount; k++ {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+		if !cats[k.Category()] {
+			t.Errorf("kind %v has unknown category %q", k, k.Category())
+		}
+	}
+	if Kind(200).String() != "unknown" || Kind(200).Category() != "unknown" {
+		t.Error("out-of-range kind must map to unknown")
+	}
+	if KindRecovery.Leaf() {
+		t.Error("the recovery envelope must not count as a leaf")
+	}
+	if !KindVec.Leaf() || !KindAllreduce.Leaf() {
+		t.Error("ordinary kinds must be leaves")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var rec *Recorder
+	rk := rec.Rank(3) // nil recorder: nil rank
+	if rk != nil {
+		t.Fatal("nil Recorder.Rank must be nil")
+	}
+	// All recording methods must be no-ops on a nil receiver.
+	rk.SetIter(5)
+	rk.SetPhase(PhaseRecovery)
+	rk.Span(KindVec, 0, 1)
+	rk.Envelope(2, 0, 1)
+	rk.Point(0, 0, 1e-3, 0.5, 100, 2)
+
+	var opts *Options
+	if opts.Enabled() {
+		t.Error("nil Options must report disabled")
+	}
+	if (&Options{}).Enabled() {
+		t.Error("zero Options must report disabled")
+	}
+	if !(&Options{Trace: true}).Enabled() || !(&Options{Series: true}).Enabled() {
+		t.Error("set Options must report enabled")
+	}
+}
+
+func TestSpanCoalescing(t *testing.T) {
+	rec := NewRecorder(Options{Trace: true}, 1)
+	rk := rec.Rank(0)
+	rk.SetIter(7)
+	rk.Span(KindVec, 0, 1)
+	rk.Span(KindVec, 1, 2)     // abuts with same attribution: coalesce
+	rk.Span(KindVec, 2, 2)     // zero-length: dropped
+	rk.Span(KindPrecond, 2, 3) // different kind: new span
+	rk.Span(KindVec, 4, 5)     // gap: new span
+	rk.SetIter(8)
+	rk.Span(KindVec, 5, 6) // abuts but different iter: new span
+
+	tr := rec.Build(6)
+	spans := tr.Ranks[0]
+	want := []Span{
+		{Kind: KindVec, Iter: 7, Start: 0, End: 2},
+		{Kind: KindPrecond, Iter: 7, Start: 2, End: 3},
+		{Kind: KindVec, Iter: 7, Start: 4, End: 5},
+		{Kind: KindVec, Iter: 8, Start: 5, End: 6},
+	}
+	if len(spans) != len(want) {
+		t.Fatalf("got %d spans, want %d: %+v", len(spans), len(want), spans)
+	}
+	for i, s := range spans {
+		if s != want[i] {
+			t.Errorf("span %d: got %+v, want %+v", i, s, want[i])
+		}
+	}
+}
+
+func TestSeriesOnlyRankZero(t *testing.T) {
+	rec := NewRecorder(Options{Series: true}, 3)
+	for g := 0; g < 3; g++ {
+		rec.Rank(g).Point(0, 0, 1e-2, float64(g), 10, 1)
+	}
+	tr := rec.Build(1)
+	if len(tr.Series) != 1 || tr.Series[0].Clock != 0 {
+		t.Fatalf("series must hold rank 0's point only, got %+v", tr.Series)
+	}
+	if len(tr.Ranks[0]) != 0 {
+		t.Error("series-only options must not record spans")
+	}
+}
+
+func TestMarkWasted(t *testing.T) {
+	rec := NewRecorder(Options{Series: true}, 1)
+	rk := rec.Rank(0)
+	// Iterations 0,1,2 then a rollback to 1: steps at iters 1 and 2 before
+	// the rollback are re-run, so they are wasted.
+	for step, iter := range []int{0, 1, 2, 1, 2, 3} {
+		rk.Point(step, iter, 1e-3, float64(step), 0, 0)
+	}
+	tr := rec.Build(6)
+	want := []bool{false, true, true, false, false, false}
+	for i, p := range tr.Series {
+		if p.Wasted != want[i] {
+			t.Errorf("point %d (iter %d): wasted=%v, want %v", i, p.Iter, p.Wasted, want[i])
+		}
+	}
+}
+
+func TestRecoveryStatsAndCoverage(t *testing.T) {
+	rec := NewRecorder(Options{Trace: true}, 2)
+	r0, r1 := rec.Rank(0), rec.Rank(1)
+	r0.Span(KindVec, 0, 6)
+	r0.Envelope(10, 6, 9)
+	r0.Span(KindRecoverGather, 6, 9)
+	r0.Span(KindVec, 9, 10)
+	r1.Span(KindVec, 0, 4)
+	r1.Envelope(10, 6, 8)
+
+	tr := rec.Build(10)
+	stats := tr.RecoveryStats()
+	if len(stats) != 1 {
+		t.Fatalf("got %d recovery stats, want 1", len(stats))
+	}
+	if st := stats[0]; st.Iter != 10 || st.Time != 3 || st.Ranks != 2 {
+		t.Errorf("stat = %+v, want Iter 10, Time 3, Ranks 2", st)
+	}
+
+	rank, frac := tr.Coverage()
+	if rank != 0 {
+		t.Errorf("critical rank = %d, want 0", rank)
+	}
+	if frac != 1.0 { // rank 0's leaves cover [0,10) exactly
+		t.Errorf("coverage = %v, want 1.0", frac)
+	}
+}
+
+func TestWriteChromeDeterministicAndValid(t *testing.T) {
+	build := func() *bytes.Buffer {
+		rec := NewRecorder(Options{Trace: true, Series: true}, 2)
+		rk := rec.Rank(0)
+		rk.SetIter(0)
+		rk.Span(KindVec, 0, 1)
+		rk.Span(KindAllreduce, 1, 2)
+		rk.Point(0, 0, 1e-3, 2, 64, 1)
+		rk.Envelope(0, 2, 3)
+		rec.Rank(1).Span(KindPrecond, 0, 2)
+		tr := rec.Build(3)
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("WriteChrome is not byte-deterministic for identical traces")
+	}
+	if err := ValidateChromeTrace(a.Bytes()); err != nil {
+		t.Fatalf("emitted trace fails validation: %v", err)
+	}
+	for _, name := range []string{"vec", "allreduce", "precond", "recovery", "relres", "thread_name"} {
+		if !strings.Contains(a.String(), `"`+name+`"`) {
+			t.Errorf("trace JSON lacks %q event", name)
+		}
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`{"traceEvents":[]}`,
+		`{"traceEvents":[{"ph":"X","ts":0,"dur":1,"tid":0}]}`,     // no name
+		`{"traceEvents":[{"name":"x","ph":"Z"}]}`,                 // unknown phase
+		`{"traceEvents":[{"name":"x","ph":"X","dur":1,"tid":0}]}`, // no ts
+		`{"traceEvents":[{"name":"x","ph":"X","ts":-1,"dur":1}]}`, // negative ts
+		`{"traceEvents":[{"name":"bogus_meta","ph":"M"}]}`,        // unknown metadata
+		`{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":1}]}`,  // no tid
+		`{"traceEvents":[{"name":"relres","ph":"C"}]}`,            // counter without ts
+	}
+	for _, s := range bad {
+		if err := ValidateChromeTrace([]byte(s)); err == nil {
+			t.Errorf("validator accepted %s", s)
+		}
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	rec := NewRecorder(Options{Series: true}, 1)
+	rk := rec.Rank(0)
+	rk.Point(0, 0, 1e-1, 1.0, 100, 2)
+	rk.Point(1, 1, 1e-2, 2.5, 250, 5)
+	tr := rec.Build(2.5)
+	var buf bytes.Buffer
+	if err := tr.WriteSeriesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d CSV lines, want header + 2 rows:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "step,iter,relres,clock,clock_delta,bytes,bytes_delta,msgs,msgs_delta,wasted" {
+		t.Errorf("bad header: %s", lines[0])
+	}
+	if lines[2] != "1,1,0.01,2.5,1.5,250,150,5,3,0" {
+		t.Errorf("bad delta row: %s", lines[2])
+	}
+}
+
+func TestTotals(t *testing.T) {
+	rec := NewRecorder(Options{Trace: true}, 2)
+	rec.Rank(0).Span(KindVec, 0, 2)
+	rec.Rank(1).Span(KindVec, 0, 1)
+	rec.Rank(1).Span(KindSpMV, 1, 4)
+	tr := rec.Build(4)
+	tot := tr.Totals()
+	if tot[KindVec] != 3 || tot[KindSpMV] != 3 {
+		t.Errorf("totals = %v, want vec 3, spmv 3", tot)
+	}
+}
+
+func TestCurrentBuild(t *testing.T) {
+	b := CurrentBuild()
+	if b.GoVersion == "" {
+		t.Error("CurrentBuild must report the Go version")
+	}
+}

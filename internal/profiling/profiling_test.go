@@ -1,0 +1,86 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartNoOp(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatalf("Start with no paths: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}
+
+func TestCPUAndHeapProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	s := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		s += float64(i % 7)
+	}
+	_ = s
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := Start(filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof"))
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("first stop: %v", err)
+	}
+	// A second stop must not re-run StopCPUProfile or rewrite the heap
+	// profile — it returns the first call's (nil) error.
+	if err := stop(); err != nil {
+		t.Fatalf("second stop: %v", err)
+	}
+}
+
+func TestStopErrorSticky(t *testing.T) {
+	dir := t.TempDir()
+	// The heap profile targets a path whose parent does not exist, so the
+	// stop fails; the failure must repeat verbatim instead of turning into
+	// a spurious success.
+	stop, err := Start("", filepath.Join(dir, "missing", "mem.pprof"))
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	first := stop()
+	if first == nil {
+		t.Fatal("stop with unwritable heap path succeeded")
+	}
+	if second := stop(); second != first {
+		t.Errorf("second stop returned %v, want the sticky first error %v", second, first)
+	}
+}
+
+func TestStartBadCPUPath(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Start(filepath.Join(dir, "missing", "cpu.pprof"), ""); err == nil {
+		t.Fatal("Start with unwritable CPU path succeeded")
+	}
+}
