@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"testing"
 	"time"
@@ -18,18 +19,34 @@ import (
 // number alongside each performance PR: the chaining below picks up the
 // newest lower-numbered BENCH_PR*.json automatically, so the trajectory
 // stays machine-readable without hand-wiring file names.
-const hostBenchFile = "BENCH_PR5.json"
+const hostBenchFile = "BENCH_PR7.json"
 
 // HostMetric is one host-side performance measurement: wall-clock and
 // allocation cost per operation, plus sweep throughput for the campaign
 // row. These are the numbers the structure-aware kernels optimize — the
 // simulated (LogGP) figures in the same exports are bitwise invariant.
+// Every row carries the GOMAXPROCS it was measured under, so mixed-procs
+// files (the -scaling sweep writes into the same export) stay
+// interpretable row by row.
 type HostMetric struct {
 	Name        string  `json:"name"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
 	NsPerOp     int64   `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	CellsPerSec float64 `json:"cells_per_sec,omitempty"` // campaign rows only
+}
+
+// ScalingRow is one (benchmark, GOMAXPROCS) point of the -scaling sweep:
+// the raw per-op cost plus the derived parallel-scaling figures against the
+// same benchmark's 1-proc row.
+type ScalingRow struct {
+	Name        string  `json:"name"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	CellsPerSec float64 `json:"cells_per_sec,omitempty"` // campaign rows only
+	Speedup     float64 `json:"speedup"`                 // t(1 proc) / t(this row)
+	Efficiency  float64 `json:"efficiency"`              // speedup / gomaxprocs
 }
 
 // HostBenchReport is the BENCH_PR<N>.json schema: the current tree measured
@@ -53,6 +70,11 @@ type HostBenchReport struct {
 	Previous     []HostMetric `json:"previous,omitempty"`
 	Baseline     []HostMetric `json:"baseline"`
 	Optimized    []HostMetric `json:"optimized"`
+
+	// Scaling holds the -scaling sweep: the solve and campaign-smoke
+	// benchmarks re-measured at GOMAXPROCS ∈ {1, 2, 4, NumCPU} under
+	// kernel=auto, with per-row speedup and parallel efficiency.
+	Scaling []ScalingRow `json:"scaling,omitempty"`
 }
 
 // hostBenchCases mirrors bench_test.go's BenchmarkHostSolve fixtures — the
@@ -86,31 +108,11 @@ func hostBenchCases() []struct {
 	}
 }
 
-// runHostBench measures the host-side suite under the given kernel and
-// returns the metric rows (solve cases plus the campaign sweep).
-func runHostBench(kernel esrp.KernelKind) []HostMetric {
-	var out []HostMetric
-	for _, c := range hostBenchCases() {
-		cfg := c.cfg
-		cfg.Kernel = kernel
-		fmt.Fprintf(os.Stderr, "esrpbench: hostbench %s kernel=%v...\n", c.name, kernel)
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := esrp.Solve(cfg); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-		out = append(out, HostMetric{
-			Name: c.name, NsPerOp: r.NsPerOp(),
-			AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
-		})
-	}
-
-	// Campaign sweep throughput: the CI smoke grid shape under a Poisson
-	// failure process (identical to bench_test.go's BenchmarkCampaignSweep).
-	grid := esrp.CampaignGrid{
+// smokeGrid is the CI campaign smoke grid under a Poisson failure process
+// (identical to bench_test.go's BenchmarkCampaignSweep), shared by the
+// hostbench campaign row and the -scaling sweep.
+func smokeGrid(kernel esrp.KernelKind) esrp.CampaignGrid {
+	return esrp.CampaignGrid{
 		Matrices:   []esrp.CampaignMatrix{{Name: "poisson2d-32", A: esrp.Poisson2D(32, 32)}},
 		Nodes:      []int{8},
 		Strategies: []esrp.Strategy{esrp.StrategyESRP, esrp.StrategyIMCR},
@@ -120,7 +122,12 @@ func runHostBench(kernel esrp.KernelKind) []HostMetric {
 		Scenario:   esrp.FailureScenario{Model: esrp.ScenarioExponential, MTBF: 500, Horizon: 80},
 		Kernel:     kernel,
 	}
-	fmt.Fprintf(os.Stderr, "esrpbench: hostbench campaign sweep kernel=%v...\n", kernel)
+}
+
+// benchCampaign measures the smoke grid's sweep throughput under the given
+// kernel, at whatever GOMAXPROCS is currently in force.
+func benchCampaign(kernel esrp.KernelKind) HostMetric {
+	grid := smokeGrid(kernel)
 	cells := 0
 	start := time.Now()
 	r := testing.Benchmark(func(b *testing.B) {
@@ -135,14 +142,101 @@ func runHostBench(kernel esrp.KernelKind) []HostMetric {
 	})
 	elapsed := time.Since(start).Seconds()
 	m := HostMetric{
-		Name: "campaign/smoke-grid", NsPerOp: r.NsPerOp(),
+		Name: "campaign/smoke-grid", GoMaxProcs: runtime.GOMAXPROCS(0),
+		NsPerOp:     r.NsPerOp(),
 		AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
 	}
 	if elapsed > 0 {
 		m.CellsPerSec = float64(cells) / elapsed
 	}
-	out = append(out, m)
+	return m
+}
+
+// benchSolve measures one solve configuration under the given kernel, at
+// whatever GOMAXPROCS is currently in force.
+func benchSolve(cfg esrp.Config, kernel esrp.KernelKind) HostMetric {
+	cfg.Kernel = kernel
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := esrp.Solve(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return HostMetric{
+		GoMaxProcs: runtime.GOMAXPROCS(0), NsPerOp: r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+	}
+}
+
+// runHostBench measures the host-side suite under the given kernel and
+// returns the metric rows (solve cases plus the campaign sweep).
+func runHostBench(kernel esrp.KernelKind) []HostMetric {
+	var out []HostMetric
+	for _, c := range hostBenchCases() {
+		fmt.Fprintf(os.Stderr, "esrpbench: hostbench %s kernel=%v...\n", c.name, kernel)
+		m := benchSolve(c.cfg, kernel)
+		m.Name = c.name
+		out = append(out, m)
+	}
+	fmt.Fprintf(os.Stderr, "esrpbench: hostbench campaign sweep kernel=%v...\n", kernel)
+	return append(out, benchCampaign(kernel))
+}
+
+// scalingProcs is the GOMAXPROCS sweep of -scaling: 1, 2, 4 and the host's
+// CPU count, deduplicated in ascending order. Points past NumCPU are kept —
+// on a small host they measure the oversubscribed regime honestly (the
+// barrier's yield-then-park policy is exactly for that shape) instead of
+// silently narrowing the sweep.
+func scalingProcs() []int {
+	procs := []int{1, 2, 4, runtime.NumCPU()}
+	sort.Ints(procs)
+	out := procs[:1]
+	for _, p := range procs[1:] {
+		if p > out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
 	return out
+}
+
+// runScaling sweeps GOMAXPROCS over the solve and campaign-smoke benchmarks
+// (kernel=auto — the optimized data path) and derives speedup and parallel
+// efficiency against each benchmark's 1-proc row. The solve rows exercise
+// rank-goroutine parallelism inside one simulated cluster; the campaign
+// rows exercise cell parallelism across clusters (Workers defaults to
+// GOMAXPROCS, so the sweep scales the worker pool with the procs).
+func runScaling() []ScalingRow {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	solveCase := hostBenchCases()[0] // solve/none: the pure data path
+	var rows []ScalingRow
+	baseNs := make(map[string]float64)
+	for _, p := range scalingProcs() {
+		runtime.GOMAXPROCS(p)
+		fmt.Fprintf(os.Stderr, "esrpbench: scaling GOMAXPROCS=%d...\n", p)
+
+		sm := benchSolve(solveCase.cfg, esrp.KernelAuto)
+		cm := benchCampaign(esrp.KernelAuto)
+		for _, m := range []HostMetric{{Name: solveCase.name, NsPerOp: sm.NsPerOp},
+			{Name: cm.Name, NsPerOp: cm.NsPerOp, CellsPerSec: cm.CellsPerSec}} {
+			row := ScalingRow{
+				Name: m.Name, GoMaxProcs: p,
+				NsPerOp: m.NsPerOp, CellsPerSec: m.CellsPerSec,
+			}
+			if p == 1 || baseNs[m.Name] == 0 {
+				baseNs[m.Name] = float64(m.NsPerOp)
+			}
+			if m.NsPerOp > 0 {
+				row.Speedup = baseNs[m.Name] / float64(m.NsPerOp)
+				row.Efficiency = row.Speedup / float64(p)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
 }
 
 var benchPRFile = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
@@ -175,10 +269,12 @@ func latestBenchFile(dir string) (string, bool) {
 
 // writeHostBench runs the suite twice — kernel=csr as the baseline (the
 // PR 4 data path) and kernel=auto as the optimized rows — and writes
-// BENCH_PR<N>.json into dir. The previous PR's export (baselinePath, or the
-// newest lower-numbered BENCH_PR*.json in the working directory when empty)
+// BENCH_PR<N>.json into dir. With scaling set it also sweeps GOMAXPROCS
+// over the solve and campaign-smoke benchmarks into the export's scaling
+// section. The previous PR's export (baselinePath, or the newest
+// lower-numbered BENCH_PR*.json in the working directory when empty)
 // contributes its optimized rows as the "previous" chain link.
-func writeHostBench(dir, baselinePath, note string) (string, error) {
+func writeHostBench(dir, baselinePath, note string, scaling bool) (string, error) {
 	rep := HostBenchReport{
 		GoVersion:       runtime.Version(),
 		GoMaxProcs:      runtime.GOMAXPROCS(0),
@@ -188,6 +284,9 @@ func writeHostBench(dir, baselinePath, note string) (string, error) {
 		OptimizedKernel: esrp.KernelAuto.String(),
 		Baseline:        runHostBench(esrp.KernelCSR),
 		Optimized:       runHostBench(esrp.KernelAuto),
+	}
+	if scaling {
+		rep.Scaling = runScaling()
 	}
 	if baselinePath == "" {
 		if found, ok := latestBenchFile("."); ok {

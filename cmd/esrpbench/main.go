@@ -57,6 +57,7 @@ func main() {
 		jsonDir = flag.String("json-dir", ".", "directory for the BENCH_<name>.json exports (\"\" = disabled)")
 
 		hostbench    = flag.Bool("hostbench", false, "measure host-side performance (ns/op, allocs/op, campaign cells/sec; kernel=csr baseline vs kernel=auto) and write "+hostBenchFile+" to -json-dir")
+		scaling      = flag.Bool("scaling", false, "with the hostbench suite, sweep GOMAXPROCS ∈ {1,2,4,NumCPU} over the solve and campaign-smoke benchmarks and record per-procs rows plus parallel efficiency in "+hostBenchFile+" (implies -hostbench)")
 		hostBaseline = flag.String("host-baseline", "", "previous BENCH_PR*.json to chain from (\"\" = newest BENCH_PR*.json in the current directory)")
 		hostNote     = flag.String("host-note", "", "free-form note recorded in the "+hostBenchFile+" export")
 
@@ -76,11 +77,11 @@ func main() {
 		}
 	}()
 
-	if *hostbench {
+	if *hostbench || *scaling {
 		if *jsonDir == "" {
 			fatalf("-hostbench writes %s and needs a -json-dir (got the disabled value \"\")", hostBenchFile)
 		}
-		path, err := writeHostBench(*jsonDir, *hostBaseline, *hostNote)
+		path, err := writeHostBench(*jsonDir, *hostBaseline, *hostNote, *scaling)
 		if err != nil {
 			fatalf("hostbench: %v", err)
 		}

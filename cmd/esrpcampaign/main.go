@@ -119,9 +119,18 @@ func main() {
 	if !*quiet {
 		start := time.Now()
 		var progressMu sync.Mutex
+		hi := 0
 		grid.Progress = func(done, total int) {
 			progressMu.Lock()
 			defer progressMu.Unlock()
+			// The engine delivers each done value exactly once, but worker
+			// goroutines can overtake each other between the counter
+			// increment and this callback; redraw only on a new high-water
+			// mark so the meter never runs backwards.
+			if done <= hi {
+				return
+			}
+			hi = done
 			elapsed := time.Since(start).Seconds()
 			rate := float64(done) / math.Max(elapsed, 1e-9)
 			eta := time.Duration(float64(total-done) / rate * float64(time.Second))

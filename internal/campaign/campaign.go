@@ -301,32 +301,36 @@ func Run(g Grid) (*Report, error) {
 	// back to the old per-cell path (surfacing the same error).
 	preps := g.prepareContexts(cells, matrices)
 
-	// Solve the cells on a bounded worker pool. Results land at their cell
-	// index, so the report order is independent of scheduling. Each worker
-	// owns one Workspace: consecutive cells on the same worker reuse the
-	// solver's vector buffers instead of re-allocating them.
-	jobs := make(chan int)
+	// Executor half: drain the affinity-sharded schedule (see schedule.go)
+	// on Workers goroutines. Results land at their cell index, so the
+	// report order is independent of scheduling and stealing. Each worker
+	// owns one Workspace: consecutive cells on the same worker — batched by
+	// shared Prepared context — reuse the solver's vector buffers instead
+	// of re-allocating them. Progress is an atomic post-increment per
+	// finished cell, so callbacks see each value of 1..total exactly once
+	// (delivery order across workers is not a contract).
+	sched := newSchedule(cells, g.Workers)
 	var wg sync.WaitGroup
 	var done atomic.Int64
 	total := len(cells)
 	for w := 0; w < g.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			ws := core.NewWorkspace()
-			for i := range jobs {
+			for {
+				i, ok := sched.next(w)
+				if !ok {
+					return
+				}
 				c := &cells[i]
 				g.runCell(i, c, matrices[c.Matrix], preps[prepKeyOf(c)], ws)
 				if g.Progress != nil {
 					g.Progress(int(done.Add(1)), total)
 				}
 			}
-		}()
+		}(w)
 	}
-	for i := range cells {
-		jobs <- i
-	}
-	close(jobs)
 	wg.Wait()
 
 	return &Report{

@@ -1,0 +1,120 @@
+package campaign
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+// fakeCells builds a cell list whose prepKeys follow the given pattern of
+// matrix names (nodes/phi constant), so affinity batches are the maximal
+// runs of equal letters.
+func fakeCells(pattern string) []Cell {
+	cells := make([]Cell, len(pattern))
+	for i, r := range pattern {
+		cells[i] = Cell{Matrix: string(r), Nodes: 4, Strategy: "imcr", T: 5, Phi: 1}
+	}
+	return cells
+}
+
+// TestScheduleAffinityBatches pins the scheduler half: affinity runs stay
+// whole on one shard, and batches go to the least-loaded shard in grid
+// order (ties to the lowest shard).
+func TestScheduleAffinityBatches(t *testing.T) {
+	// Runs: aaa (3), bb (2), c (1), ddd (3) over 2 shards.
+	// LPT packing: aaa→0, bb→1, c→1 (load 2<3), ddd→1? loads 3 vs 3 → tie
+	// to shard 0? After aaa→0(3), bb→1(2), c→1(3): tie 3,3 → shard 0.
+	s := newSchedule(fakeCells("aaabbcddd"), 2)
+	got := [][]int{s.shards[0].queue, s.shards[1].queue}
+	want := [][]int{{0, 1, 2, 6, 7, 8}, {3, 4, 5}}
+	for sh := range want {
+		if len(got[sh]) != len(want[sh]) {
+			t.Fatalf("shard %d = %v, want %v", sh, got, want)
+		}
+		for i := range want[sh] {
+			if got[sh][i] != want[sh][i] {
+				t.Fatalf("shard %d = %v, want %v", sh, got[sh], want[sh])
+			}
+		}
+	}
+}
+
+// TestScheduleStealBounds pins stealTail's policy: at most stealChunk, at
+// most half the remainder (rounded up), from the tail, never below what the
+// owner already claimed.
+func TestScheduleStealBounds(t *testing.T) {
+	sh := &shard{queue: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}
+	sh.head = 2 // owner claimed 0, 1
+	stolen := sh.stealTail(stealChunk)
+	if len(stolen) != 4 { // half of the 8 remaining
+		t.Fatalf("stole %v, want 4 tail items", stolen)
+	}
+	if stolen[0] != 6 || stolen[3] != 9 {
+		t.Fatalf("stole %v, want the tail [6 7 8 9]", stolen)
+	}
+	if r := sh.remaining(); r != 4 {
+		t.Fatalf("victim remaining %d, want 4", r)
+	}
+	// A huge remainder is still chunk-bounded.
+	big := &shard{queue: make([]int, 100)}
+	if got := len(big.stealTail(stealChunk)); got != stealChunk {
+		t.Fatalf("stole %d from a 100-cell shard, want %d", got, stealChunk)
+	}
+	// Draining a near-empty shard takes what's left.
+	tiny := &shard{queue: []int{7}}
+	if got := tiny.stealTail(stealChunk); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("stole %v from a 1-cell shard, want [7]", got)
+	}
+	if got := tiny.stealTail(stealChunk); got != nil {
+		t.Fatalf("stole %v from an empty shard, want nil", got)
+	}
+}
+
+// TestScheduleDrainsExactlyOnce runs a steal-heavy layout — every cell in
+// one shard, many thieves — and requires each index to come out of next()
+// exactly once across all workers. Run with -race this also traps unsafe
+// shard handoff.
+func TestScheduleDrainsExactlyOnce(t *testing.T) {
+	const n, nw = 500, 8
+	// One giant affinity run: everything lands on shard 0, workers 1..7
+	// live entirely off steals.
+	cells := make([]Cell, n)
+	for i := range cells {
+		cells[i] = Cell{Matrix: "m", Nodes: 4, Strategy: "imcr", T: 5, Phi: 1}
+	}
+	s := newSchedule(cells, nw)
+	if got := len(s.shards[0].queue); got != n {
+		t.Fatalf("steal-heavy layout: shard 0 has %d cells, want all %d", got, n)
+	}
+
+	var mu sync.Mutex
+	var got []int
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var mine []int
+			for {
+				i, ok := s.next(w)
+				if !ok {
+					break
+				}
+				mine = append(mine, i)
+			}
+			mu.Lock()
+			got = append(got, mine...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("drained %d cells, want %d", len(got), n)
+	}
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("cell %d delivered %d times or out of set (sorted[%d]=%d)", i, 0, i, v)
+		}
+	}
+}

@@ -7,16 +7,12 @@ import (
 	"testing"
 )
 
-// TestAllreduceSteadyStateZeroAlloc gates the collective arena: after the
-// warm-up calls have sized the slot banks, Allreduce/AllreduceScalar/Barrier
-// must not touch the heap. Rank 0 reads the global malloc counter while the
-// other nodes are parked at a barrier (blocked in the arena's cond wait,
-// which does not allocate), so the measurement window covers exactly the
-// steady-state collectives of all nodes.
-func TestAllreduceSteadyStateZeroAlloc(t *testing.T) {
-	if raceEnabled {
-		t.Skip("race detector instrumentation allocates; gate runs in the non-race job")
-	}
+// collectiveWindowAllocs runs `rounds` steady-state rounds of
+// Allreduce + AllreduceScalar + Barrier on 8 nodes after a fixed warm-up and
+// returns the global malloc count over the window. Rank 0 reads the counter
+// while the other nodes are parked at a barrier, so the window covers
+// exactly the steady-state collectives of all nodes.
+func collectiveWindowAllocs(t *testing.T, rounds int) uint64 {
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 	const n = 8
 	c := New(n, testModel())
@@ -33,7 +29,7 @@ func TestAllreduceSteadyStateZeroAlloc(t *testing.T) {
 			runtime.ReadMemStats(&m1)
 		}
 		nd.Barrier()
-		for i := 0; i < 400; i++ {
+		for i := 0; i < rounds; i++ {
 			nd.Allreduce(OpSum, x)
 			nd.AllreduceScalar(OpMax, float64(i))
 			nd.Barrier()
@@ -47,22 +43,33 @@ func TestAllreduceSteadyStateZeroAlloc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 1200 collectives across 8 nodes. The arena itself must stay off the
-	// heap; a small constant (≤ 2 per goroutine) is tolerated for runtime
-	// internals (sudog cache fills when a goroutine first parks inside the
-	// window) — any real per-call allocation would show up 400-fold.
-	if allocs > 2*n {
-		t.Fatalf("steady-state collectives allocated %d times over 1200 calls (want ≤ %d runtime-internal)", allocs, 2*n)
-	}
+	return allocs
 }
 
-// TestP2PSteadyStateZeroAlloc gates the point-to-point free list: once the
-// receiver recycles payload buffers with Release, a steady Send/Recv stream
-// must not allocate.
-func TestP2PSteadyStateZeroAlloc(t *testing.T) {
+// TestAllreduceSteadyStateZeroAlloc gates the collective arena: after the
+// warm-up calls have sized the slot banks, Allreduce/AllreduceScalar/Barrier
+// must not touch the heap. The Go runtime itself allocates a small *constant*
+// amount around goroutine park/unpark (sudog and per-P cache refills — at
+// GOMAXPROCS > 1 tens of objects, not attributable per call), so the gate
+// measures marginally: a real per-call allocation separates a 400-round
+// window from a 6400-round window 6000-fold, constant runtime noise cancels.
+func TestAllreduceSteadyStateZeroAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race detector instrumentation allocates; gate runs in the non-race job")
 	}
+	short := collectiveWindowAllocs(t, 400)
+	long := collectiveWindowAllocs(t, 6400)
+	marginal := (float64(long) - float64(short)) / 6000
+	if marginal > 0.02 {
+		t.Fatalf("steady-state collectives allocate %.3f times per round (windows: %d over 400, %d over 6400; want ~0)",
+			marginal, short, long)
+	}
+}
+
+// p2pWindowAllocs runs `rounds` steady-state Send/Recv/Release exchanges
+// after warming the destination's free list and returns the global malloc
+// count over the window.
+func p2pWindowAllocs(t *testing.T, rounds int) uint64 {
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 	c := New(2, testModel())
 	var allocs uint64
@@ -85,7 +92,7 @@ func TestP2PSteadyStateZeroAlloc(t *testing.T) {
 			runtime.ReadMemStats(&m1)
 		}
 		nd.Barrier()
-		for i := 0; i < 400; i++ {
+		for i := 0; i < rounds; i++ {
 			exchange()
 			nd.Barrier() // bound sender run-ahead: in-flight stays ≤ 1 buffer
 		}
@@ -98,8 +105,24 @@ func TestP2PSteadyStateZeroAlloc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if allocs > 4 { // runtime-internal slack only; 400 sends would show 400-fold
-		t.Fatalf("steady-state P2P stream allocated %d times over 400 sends (want ~0)", allocs)
+	return allocs
+}
+
+// TestP2PSteadyStateZeroAlloc gates the point-to-point free list: once the
+// receiver recycles payload buffers with Release, a steady Send/Recv stream
+// must not allocate. Measured marginally between a 400- and a 6400-exchange
+// window so constant runtime park/unpark noise cancels (see the collective
+// gate above).
+func TestP2PSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; gate runs in the non-race job")
+	}
+	short := p2pWindowAllocs(t, 400)
+	long := p2pWindowAllocs(t, 6400)
+	marginal := (float64(long) - float64(short)) / 6000
+	if marginal > 0.02 {
+		t.Fatalf("steady-state P2P stream allocates %.3f times per exchange (windows: %d over 400, %d over 6400; want ~0)",
+			marginal, short, long)
 	}
 }
 

@@ -6,7 +6,7 @@
 // created FIFO channels whose payload buffers come from a per-receiver
 // free list, and collectives (allreduce, broadcast, gather, barrier) run
 // over a per-view shared-memory arena — preallocated per-rank slot buffers
-// synchronized by a sense-reversing barrier — with deterministic,
+// synchronized by a combining-tree barrier (barrier.go) — with deterministic,
 // rank-ordered reductions so that floating-point results are reproducible
 // run to run. In steady state neither path allocates: the arena slots, the
 // send buffers and the receive buffers are all recycled.
@@ -42,6 +42,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -132,20 +133,33 @@ func (e *endpoint) box(src int) chan message {
 	return b.ch
 }
 
-// getBuf pops a free buffer with capacity ≥ n (or allocates one). The scan
-// prefers the most recently released buffer — traffic patterns here are
-// static per (pair, tag), so the top of the stack is almost always the
-// right size.
+// getBuf pops the best-fitting free buffer with capacity in [n, 2n+32] (or
+// allocates one). Traffic patterns here are static per (pair, tag), so the
+// most recently released buffer is almost always an exact fit and the
+// top-down scan stops immediately. The fit ceiling matters when payloads of
+// very different sizes share one receiver (halo exchanges next to buddy
+// checkpoints): a small request must never strip the pool's one large
+// buffer — the next large send would allocate afresh every round — so badly
+// oversized buffers are left in place and a fresh small buffer (which joins
+// the pool's fixed working set on Release) is allocated instead.
 func (e *endpoint) getBuf(n int) []float64 {
+	limit := 2*n + 32
 	e.pmu.Lock()
+	best := -1
 	for i := len(e.pool) - 1; i >= 0; i-- {
-		if cap(e.pool[i]) >= n {
-			buf := e.pool[i]
-			e.pool[i] = e.pool[len(e.pool)-1]
-			e.pool = e.pool[:len(e.pool)-1]
-			e.pmu.Unlock()
-			return buf[:n]
+		if c := cap(e.pool[i]); c >= n && c <= limit && (best < 0 || c < cap(e.pool[best])) {
+			best = i
+			if c == n {
+				break
+			}
 		}
+	}
+	if best >= 0 {
+		buf := e.pool[best]
+		e.pool[best] = e.pool[len(e.pool)-1]
+		e.pool = e.pool[:len(e.pool)-1]
+		e.pmu.Unlock()
+		return buf[:n]
 	}
 	e.pmu.Unlock()
 	return make([]float64, n)
@@ -222,6 +236,14 @@ func (c *Comm) Model() CostModel { return c.model }
 type abortedError struct{ cause error }
 
 func (e abortedError) Error() string { return "cluster: aborted: " + e.cause.Error() }
+
+// errCollectiveAborted is the shared cause of collective-abort unwinds; a
+// single value so the (already-failing) abort path allocates nothing.
+var errCollectiveAborted = errors.New("collective aborted")
+
+// abortedPanic is the value node goroutines unwind with when a collective is
+// torn down by another node's failure.
+func abortedPanic() abortedError { return abortedError{cause: errCollectiveAborted} }
 
 func (c *Comm) fail(err error) {
 	c.abortOnce.Do(func() {
@@ -337,8 +359,8 @@ func identityView(n int) *view {
 }
 
 // arena is the shared-memory collective workspace of one communicator view:
-// per-member slot buffers and clock cells, synchronized by a sense-reversing
-// barrier. A collective is ONE barrier phase: every member publishes its
+// per-member slot buffers and clock cells, synchronized by a combining-tree
+// barrier (see barrier.go). A collective is ONE barrier phase: every member publishes its
 // contribution and entry clock into the current bank, the barrier flips, and
 // every member reads all slots (reducing in ascending rank order, so results
 // are bitwise deterministic). Slots are double-buffered in two banks that
@@ -353,20 +375,15 @@ type arena struct {
 	slots  [2][][]float64 // per-bank, per-member contribution scratch (owner-written)
 	clocks [2][]float64   // per-bank, per-member simulated clock at entry
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	count   int  // members arrived in the current phase
-	sense   bool // flips when the last member arrives
-	aborted bool
+	bar *barrier
 }
 
 func newArena(n int) *arena {
-	a := &arena{n: n}
+	a := &arena{n: n, bar: newBarrier(n)}
 	for b := range a.slots {
 		a.slots[b] = make([][]float64, n)
 		a.clocks[b] = make([]float64, n)
 	}
-	a.cond = sync.NewCond(&a.mu)
 	return a
 }
 
@@ -382,40 +399,16 @@ func (a *arena) slot(b, me, n int) []float64 {
 	return s[me]
 }
 
-// await is the sense-reversing barrier: the last member to arrive flips the
-// sense and wakes the rest. Publishing before await and reading after it is
-// race-free (the mutex orders the slot writes before the reads). An abort
-// (another node failed) unparks every waiter with the abort panic.
-func (a *arena) await() {
-	a.mu.Lock()
-	if a.aborted {
-		a.mu.Unlock()
-		panic(abortedError{cause: fmt.Errorf("collective aborted")})
-	}
-	s := a.sense
-	a.count++
-	if a.count == a.n {
-		a.count = 0
-		a.sense = !s
-		a.mu.Unlock()
-		a.cond.Broadcast()
-		return
-	}
-	for a.sense == s && !a.aborted {
-		a.cond.Wait()
-	}
-	aborted := a.aborted
-	a.mu.Unlock()
-	if aborted {
-		panic(abortedError{cause: fmt.Errorf("collective aborted")})
-	}
+// await is one barrier phase for view-rank me. Publishing before await and
+// reading after it is race-free (the barrier's atomic arrival chain orders
+// the slot writes before the reads). An abort (another node failed) unparks
+// every waiter with the abort panic.
+func (a *arena) await(me int) {
+	a.bar.await(me)
 }
 
 func (a *arena) abortAll() {
-	a.mu.Lock()
-	a.aborted = true
-	a.mu.Unlock()
-	a.cond.Broadcast()
+	a.bar.abort()
 }
 
 // nodeState is the per-goroutine mutable state shared between a node and all
@@ -724,7 +717,7 @@ func (nd *Node) Allreduce(op Op, x []float64) {
 	copy(slot, x)
 	t0 := nd.state.clock
 	a.clocks[bank][me] = nd.state.clock
-	a.await() // all contributions published
+	a.await(me) // all contributions published
 
 	slots, clocks := a.slots[bank], a.clocks[bank]
 	copy(x, slots[0][:len(x)])
@@ -774,7 +767,7 @@ func (nd *Node) Bcast(root int, data []float64) {
 		copy(slot, data)
 		a.clocks[bank][me] = nd.state.clock
 	}
-	a.await()
+	a.await(me)
 	cost := nd.collectiveCost(8 * len(data))
 	if me == root {
 		nd.state.clock += cost
@@ -806,7 +799,7 @@ func (nd *Node) Gather(root int, data []float64) [][]float64 {
 		nd.account(1, int64(8*(len(data)+1)))
 		nd.state.clock += nd.comm.model.Overhead
 	}
-	a.await()
+	a.await(me)
 	var out [][]float64
 	if me == root {
 		slots, clocks := a.slots[bank], a.clocks[bank]

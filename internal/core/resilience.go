@@ -194,6 +194,15 @@ func (st *imcrState) afterIteration(j int, _ float64) {
 	for _, src := range st.sources {
 		if old := st.held[src]; old != nil {
 			run.nd.Release(old) // superseded checkpoint: recycle its buffer
+		} else {
+			// First round for this source: seed the free list with a second
+			// same-shaped buffer. The steady-state exchange then always has
+			// one buffer held here and one in the pool, so the source's
+			// next-round send never races this node's same-window Release —
+			// with a single circulating buffer that race would allocate on
+			// every lost flip. The slack absorbs uneven partition sizes
+			// (the source's m can differ from ours by the remainder).
+			run.nd.Release(make([]float64, 4*run.m+8))
 		}
 		st.held[src] = run.nd.Recv(src, tagCheckpoint)
 		st.heldIt[src] = j + 1
