@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"esrp"
+)
+
+// This file is the perf-regression sentinel: `esrpbench -check <baseline>`
+// loads a committed BENCH_PR*.json, re-runs the benchmarks its optimized
+// rows were measured from, and fails (non-zero exit, per-row delta table)
+// when ns/op or allocs/op regress beyond the configured tolerances. CI
+// runs it against the committed baseline so the BENCH_PR4 → PR5 → PR7 →
+// PR8 trajectory is enforced, not just recorded.
+//
+// Tolerance semantics: a row fails when (current − baseline)/baseline
+// exceeds the fractional tolerance. ns/op needs a loose tolerance on
+// shared CI machines; allocs/op is machine-independent and can be held
+// much tighter — it is the column that catches "someone re-introduced a
+// per-iteration allocation" exactly.
+
+// checkRow is one compared row of the delta table.
+type checkRow struct {
+	Name        string
+	Procs       int
+	BaseNs      int64
+	CurNs       int64
+	DeltaNs     float64 // fractional: (cur-base)/base
+	BaseAllocs  int64
+	CurAllocs   int64
+	DeltaAllocs float64
+	Skipped     bool // no matching benchmark in this tree
+	Failed      bool
+}
+
+// measureFunc re-measures one named baseline row and reports whether the
+// name is known. Indirected so tests can pin the sentinel's pass/fail
+// behaviour with synthetic measurements instead of minute-long reruns.
+type measureFunc func(name string) (esrpMetric, bool)
+
+// esrpMetric is the slice of HostMetric the sentinel compares.
+type esrpMetric struct {
+	NsPerOp     int64
+	AllocsPerOp int64
+}
+
+// checkAgainst compares the baseline's optimized rows against fresh
+// measurements and returns the delta table plus the failed-row count.
+func checkAgainst(base []HostMetric, measure measureFunc, tolNs, tolAllocs float64) ([]checkRow, int) {
+	rows := make([]checkRow, 0, len(base))
+	failed := 0
+	for _, b := range base {
+		row := checkRow{Name: b.Name, Procs: b.GoMaxProcs, BaseNs: b.NsPerOp, BaseAllocs: b.AllocsPerOp}
+		cur, ok := measure(b.Name)
+		if !ok {
+			row.Skipped = true
+			rows = append(rows, row)
+			continue
+		}
+		row.CurNs, row.CurAllocs = cur.NsPerOp, cur.AllocsPerOp
+		if b.NsPerOp > 0 {
+			row.DeltaNs = float64(cur.NsPerOp-b.NsPerOp) / float64(b.NsPerOp)
+		}
+		if b.AllocsPerOp > 0 {
+			row.DeltaAllocs = float64(cur.AllocsPerOp-b.AllocsPerOp) / float64(b.AllocsPerOp)
+		}
+		if row.DeltaNs > tolNs || row.DeltaAllocs > tolAllocs {
+			row.Failed = true
+			failed++
+		}
+		rows = append(rows, row)
+	}
+	return rows, failed
+}
+
+// renderCheckTable prints the delta table. Improvements print as negative
+// deltas; only regressions beyond tolerance are marked FAIL.
+func renderCheckTable(w io.Writer, rows []checkRow, tolNs, tolAllocs float64) {
+	fmt.Fprintf(w, "%-28s %6s  %14s %14s %8s  %12s %12s %8s  %s\n",
+		"benchmark", "procs", "base ns/op", "cur ns/op", "Δns", "base allocs", "cur allocs", "Δallocs", "verdict")
+	for _, r := range rows {
+		if r.Skipped {
+			fmt.Fprintf(w, "%-28s %6d  %14d %14s %8s  %12d %12s %8s  SKIP (unknown benchmark)\n",
+				r.Name, r.Procs, r.BaseNs, "-", "-", r.BaseAllocs, "-", "-")
+			continue
+		}
+		verdict := "ok"
+		if r.Failed {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "%-28s %6d  %14d %14d %+7.1f%%  %12d %12d %+7.1f%%  %s\n",
+			r.Name, r.Procs, r.BaseNs, r.CurNs, 100*r.DeltaNs,
+			r.BaseAllocs, r.CurAllocs, 100*r.DeltaAllocs, verdict)
+	}
+	fmt.Fprintf(w, "tolerances: ns/op +%.0f%%, allocs/op +%.0f%%\n", 100*tolNs, 100*tolAllocs)
+}
+
+// liveMeasure re-runs the benchmark matching a baseline row name: the
+// solve cases by fixture name, the campaign smoke grid by its row name —
+// all under kernel=auto (the optimized configuration the baseline's rows
+// were measured with). Rows measured at a different GOMAXPROCS are
+// re-measured at this host's setting; ns/op tolerance must absorb that.
+func liveMeasure(name string) (esrpMetric, bool) {
+	if name == "campaign/smoke-grid" {
+		fmt.Fprintf(os.Stderr, "esrpbench: check re-running %s...\n", name)
+		m := benchCampaign(esrp.KernelAuto)
+		return esrpMetric{NsPerOp: m.NsPerOp, AllocsPerOp: m.AllocsPerOp}, true
+	}
+	for _, c := range hostBenchCases() {
+		if c.name == name {
+			fmt.Fprintf(os.Stderr, "esrpbench: check re-running %s...\n", name)
+			m := benchSolve(c.cfg, esrp.KernelAuto)
+			return esrpMetric{NsPerOp: m.NsPerOp, AllocsPerOp: m.AllocsPerOp}, true
+		}
+	}
+	return esrpMetric{}, false
+}
+
+// runCheck loads the baseline export and runs the sentinel. It returns an
+// error for an unusable baseline and the failed-row count otherwise.
+func runCheck(path string, tolNs, tolAllocs float64) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("check: %w", err)
+	}
+	var base HostBenchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return 0, fmt.Errorf("check: parsing %s: %w", path, err)
+	}
+	if len(base.Optimized) == 0 {
+		return 0, fmt.Errorf("check: %s has no optimized rows to compare against", path)
+	}
+	fmt.Fprintf(os.Stderr, "esrpbench: checking against %s (%s, gomaxprocs=%d, this host gomaxprocs=%d)\n",
+		path, base.GoVersion, base.GoMaxProcs, runtime.GOMAXPROCS(0))
+	rows, failed := checkAgainst(base.Optimized, liveMeasure, tolNs, tolAllocs)
+	renderCheckTable(os.Stdout, rows, tolNs, tolAllocs)
+	if failed > 0 {
+		names := make([]string, 0, failed)
+		for _, r := range rows {
+			if r.Failed {
+				names = append(names, r.Name)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "esrpbench: PERF REGRESSION in %d row(s): %s\n", failed, strings.Join(names, ", "))
+	}
+	return failed, nil
+}

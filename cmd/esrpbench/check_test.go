@@ -1,0 +1,147 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func sentinelBaseline() []HostMetric {
+	return []HostMetric{
+		{Name: "solve/poisson-small", GoMaxProcs: 1, NsPerOp: 1_000_000, AllocsPerOp: 100},
+		{Name: "campaign/smoke-grid", GoMaxProcs: 1, NsPerOp: 50_000_000, AllocsPerOp: 9000},
+	}
+}
+
+// TestCheckPassesOnUnchangedMeasurements pins that the sentinel passes when
+// the re-measured tree matches the baseline exactly.
+func TestCheckPassesOnUnchangedMeasurements(t *testing.T) {
+	base := sentinelBaseline()
+	same := func(name string) (esrpMetric, bool) {
+		for _, b := range base {
+			if b.Name == name {
+				return esrpMetric{NsPerOp: b.NsPerOp, AllocsPerOp: b.AllocsPerOp}, true
+			}
+		}
+		return esrpMetric{}, false
+	}
+	rows, failed := checkAgainst(base, same, 0.35, 0.15)
+	if failed != 0 {
+		t.Fatalf("identical measurements failed %d rows", failed)
+	}
+	for _, r := range rows {
+		if r.Failed || r.Skipped {
+			t.Errorf("row %s: failed=%v skipped=%v, want clean pass", r.Name, r.Failed, r.Skipped)
+		}
+		if r.DeltaNs != 0 || r.DeltaAllocs != 0 {
+			t.Errorf("row %s: deltas %g/%g, want 0", r.Name, r.DeltaNs, r.DeltaAllocs)
+		}
+	}
+}
+
+// TestCheckFailsOnInjectedSlowdown is the acceptance pin: a slowdown past
+// the ns/op tolerance must fail the run with a non-zero count, and the
+// offending row must carry the Failed mark the delta table renders.
+func TestCheckFailsOnInjectedSlowdown(t *testing.T) {
+	base := sentinelBaseline()
+	slowed := func(name string) (esrpMetric, bool) {
+		for _, b := range base {
+			if b.Name == name {
+				// 2× ns/op — far past the 35% tolerance.
+				return esrpMetric{NsPerOp: 2 * b.NsPerOp, AllocsPerOp: b.AllocsPerOp}, true
+			}
+		}
+		return esrpMetric{}, false
+	}
+	rows, failed := checkAgainst(base, slowed, 0.35, 0.15)
+	if failed != len(base) {
+		t.Fatalf("2x slowdown failed %d rows, want all %d", failed, len(base))
+	}
+	for _, r := range rows {
+		if !r.Failed {
+			t.Errorf("row %s not marked Failed after 2x slowdown", r.Name)
+		}
+		if r.DeltaNs < 0.99 || r.DeltaNs > 1.01 {
+			t.Errorf("row %s DeltaNs %g, want ~1.0", r.Name, r.DeltaNs)
+		}
+	}
+}
+
+// TestCheckFailsOnAllocRegression pins the tight allocs/op gate: ns/op
+// within tolerance but a reintroduced per-op allocation past 15% fails.
+func TestCheckFailsOnAllocRegression(t *testing.T) {
+	base := sentinelBaseline()[:1]
+	leaky := func(string) (esrpMetric, bool) {
+		return esrpMetric{NsPerOp: base[0].NsPerOp, AllocsPerOp: base[0].AllocsPerOp * 2}, true
+	}
+	_, failed := checkAgainst(base, leaky, 0.35, 0.15)
+	if failed != 1 {
+		t.Fatalf("doubled allocs/op failed %d rows, want 1", failed)
+	}
+}
+
+// TestCheckImprovementsAndSkipsPass pins that speedups (negative deltas)
+// never fail and unknown baseline rows are skipped, not failed — renaming a
+// benchmark must not brick the sentinel.
+func TestCheckImprovementsAndSkipsPass(t *testing.T) {
+	base := append(sentinelBaseline(), HostMetric{Name: "solve/retired-case", NsPerOp: 10, AllocsPerOp: 10})
+	faster := func(name string) (esrpMetric, bool) {
+		if name == "solve/retired-case" {
+			return esrpMetric{}, false
+		}
+		return esrpMetric{NsPerOp: 1, AllocsPerOp: 1}, true
+	}
+	rows, failed := checkAgainst(base, faster, 0.35, 0.15)
+	if failed != 0 {
+		t.Fatalf("improvements + skip failed %d rows, want 0", failed)
+	}
+	var skips int
+	for _, r := range rows {
+		if r.Skipped {
+			skips++
+		}
+	}
+	if skips != 1 {
+		t.Errorf("%d rows skipped, want 1", skips)
+	}
+}
+
+// TestRenderCheckTable sanity-checks the human-facing delta table: one line
+// per row plus the tolerance footer, FAIL verdicts on failed rows only.
+func TestRenderCheckTable(t *testing.T) {
+	base := sentinelBaseline()
+	slowed := func(name string) (esrpMetric, bool) {
+		if name == base[0].Name {
+			return esrpMetric{NsPerOp: 3 * base[0].NsPerOp, AllocsPerOp: base[0].AllocsPerOp}, true
+		}
+		return esrpMetric{NsPerOp: base[1].NsPerOp, AllocsPerOp: base[1].AllocsPerOp}, true
+	}
+	rows, _ := checkAgainst(base, slowed, 0.35, 0.15)
+	var sb strings.Builder
+	renderCheckTable(&sb, rows, 0.35, 0.15)
+	out := sb.String()
+	if !strings.Contains(out, "FAIL") {
+		t.Errorf("table missing FAIL verdict:\n%s", out)
+	}
+	if strings.Count(out, "FAIL") != 1 {
+		t.Errorf("table has %d FAIL verdicts, want 1:\n%s", strings.Count(out, "FAIL"), out)
+	}
+	if !strings.Contains(out, "tolerances: ns/op +35%, allocs/op +15%") {
+		t.Errorf("table missing tolerance footer:\n%s", out)
+	}
+}
+
+// TestHostBenchCaseNamesUnique pins that liveMeasure's by-name matching is
+// unambiguous: every solve case the bench emits has a distinct name, and
+// none collides with the campaign row.
+func TestHostBenchCaseNamesUnique(t *testing.T) {
+	seen := map[string]bool{"campaign/smoke-grid": true}
+	for _, c := range hostBenchCases() {
+		if c.name == "" {
+			t.Error("hostBenchCases contains an unnamed case")
+		}
+		if seen[c.name] {
+			t.Errorf("duplicate benchmark name %q", c.name)
+		}
+		seen[c.name] = true
+	}
+}

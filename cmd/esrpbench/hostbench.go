@@ -19,7 +19,7 @@ import (
 // number alongside each performance PR: the chaining below picks up the
 // newest lower-numbered BENCH_PR*.json automatically, so the trajectory
 // stays machine-readable without hand-wiring file names.
-const hostBenchFile = "BENCH_PR7.json"
+const hostBenchFile = "BENCH_PR8.json"
 
 // HostMetric is one host-side performance measurement: wall-clock and
 // allocation cost per operation, plus sweep throughput for the campaign
@@ -35,6 +35,16 @@ type HostMetric struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	CellsPerSec float64 `json:"cells_per_sec,omitempty"` // campaign rows only
+
+	// Host-telemetry columns (internal/hostobs), measured by a separate
+	// instrumented pass after the clean timing runs so they never perturb
+	// ns/op or allocs/op. BarrierWaitShare is Σ member barrier-wait ns over
+	// (members × instrumented wall ns) — the fraction of aggregate rank
+	// time spent waiting at collectives. Steals and GCPauseNs come from the
+	// campaign recorder (campaign rows only).
+	BarrierWaitShare float64 `json:"barrier_wait_share,omitempty"`
+	Steals           int64   `json:"steals,omitempty"`
+	GCPauseNs        int64   `json:"gc_pause_ns,omitempty"`
 }
 
 // ScalingRow is one (benchmark, GOMAXPROCS) point of the -scaling sweep:
@@ -47,6 +57,13 @@ type ScalingRow struct {
 	CellsPerSec float64 `json:"cells_per_sec,omitempty"` // campaign rows only
 	Speedup     float64 `json:"speedup"`                 // t(1 proc) / t(this row)
 	Efficiency  float64 `json:"efficiency"`              // speedup / gomaxprocs
+
+	// Host-telemetry columns from one instrumented pass per point (see
+	// HostMetric): how barrier waiting, steal traffic and GC pressure move
+	// as the procs sweep widens.
+	BarrierWaitShare float64 `json:"barrier_wait_share,omitempty"`
+	Steals           int64   `json:"steals,omitempty"`
+	GCPauseNs        int64   `json:"gc_pause_ns,omitempty"`
 }
 
 // HostBenchReport is the BENCH_PR<N>.json schema: the current tree measured
@@ -170,18 +187,66 @@ func benchSolve(cfg esrp.Config, kernel esrp.KernelKind) HostMetric {
 	}
 }
 
+// instrumentSolve runs one telemetry-enabled solve and returns the
+// barrier-wait share: Σ member wait ns over (Nodes × wall ns), i.e. the
+// fraction of aggregate rank-goroutine time spent waiting at collectives.
+// A separate pass from benchSolve so the clean rows stay uninstrumented.
+func instrumentSolve(cfg esrp.Config, kernel esrp.KernelKind) float64 {
+	cfg.Kernel = kernel
+	st := esrp.NewBarrierStats(cfg.Nodes)
+	cfg.HostStats = st
+	start := time.Now()
+	if _, err := esrp.Solve(cfg); err != nil {
+		return 0
+	}
+	wall := time.Since(start).Nanoseconds()
+	if wall <= 0 {
+		return 0
+	}
+	return float64(st.TotalWaitNs()) / (float64(cfg.Nodes) * float64(wall))
+}
+
+// instrumentCampaign runs one telemetry-enabled sweep of the smoke grid and
+// condenses the recorder: barrier-wait share normalized by the full
+// concurrency capacity (workers × largest cluster × wall), successful
+// steals, and the campaign-attributable GC pause delta.
+func instrumentCampaign(kernel esrp.KernelKind) (share float64, steals, gcPauseNs int64) {
+	grid := smokeGrid(kernel)
+	rec := esrp.NewHostRecorder()
+	grid.HostObs = rec
+	if _, err := esrp.RunCampaign(grid); err != nil {
+		return 0, 0, 0
+	}
+	tel := rec.Telemetry()
+	maxNodes := 0
+	for _, n := range grid.Nodes {
+		if n > maxNodes {
+			maxNodes = n
+		}
+	}
+	if capacity := float64(len(tel.Workers)) * float64(maxNodes) * float64(tel.WallNs); capacity > 0 {
+		share = float64(tel.BarrierWaitNs) / capacity
+	}
+	return share, tel.Steals, tel.GCPauseDeltaNs()
+}
+
 // runHostBench measures the host-side suite under the given kernel and
-// returns the metric rows (solve cases plus the campaign sweep).
+// returns the metric rows (solve cases plus the campaign sweep). Each row
+// also carries the hostobs columns from one instrumented pass run after
+// the clean timing benchmark.
 func runHostBench(kernel esrp.KernelKind) []HostMetric {
 	var out []HostMetric
 	for _, c := range hostBenchCases() {
 		fmt.Fprintf(os.Stderr, "esrpbench: hostbench %s kernel=%v...\n", c.name, kernel)
 		m := benchSolve(c.cfg, kernel)
 		m.Name = c.name
+		m.BarrierWaitShare = instrumentSolve(c.cfg, kernel)
 		out = append(out, m)
 	}
 	fmt.Fprintf(os.Stderr, "esrpbench: hostbench campaign sweep kernel=%v...\n", kernel)
-	return append(out, benchCampaign(kernel))
+	cm := benchCampaign(kernel)
+	cm.BarrierWaitShare, cm.Steals, cm.GCPauseNs = instrumentCampaign(kernel)
+	return append(out, cm)
 }
 
 // scalingProcs is the GOMAXPROCS sweep of -scaling: 1, 2, 4 and the host's
@@ -219,12 +284,17 @@ func runScaling() []ScalingRow {
 		fmt.Fprintf(os.Stderr, "esrpbench: scaling GOMAXPROCS=%d...\n", p)
 
 		sm := benchSolve(solveCase.cfg, esrp.KernelAuto)
+		sm.BarrierWaitShare = instrumentSolve(solveCase.cfg, esrp.KernelAuto)
 		cm := benchCampaign(esrp.KernelAuto)
-		for _, m := range []HostMetric{{Name: solveCase.name, NsPerOp: sm.NsPerOp},
-			{Name: cm.Name, NsPerOp: cm.NsPerOp, CellsPerSec: cm.CellsPerSec}} {
+		cm.BarrierWaitShare, cm.Steals, cm.GCPauseNs = instrumentCampaign(esrp.KernelAuto)
+		for _, m := range []HostMetric{
+			{Name: solveCase.name, NsPerOp: sm.NsPerOp, BarrierWaitShare: sm.BarrierWaitShare},
+			{Name: cm.Name, NsPerOp: cm.NsPerOp, CellsPerSec: cm.CellsPerSec,
+				BarrierWaitShare: cm.BarrierWaitShare, Steals: cm.Steals, GCPauseNs: cm.GCPauseNs}} {
 			row := ScalingRow{
 				Name: m.Name, GoMaxProcs: p,
 				NsPerOp: m.NsPerOp, CellsPerSec: m.CellsPerSec,
+				BarrierWaitShare: m.BarrierWaitShare, Steals: m.Steals, GCPauseNs: m.GCPauseNs,
 			}
 			if p == 1 || baseNs[m.Name] == 0 {
 				baseNs[m.Name] = float64(m.NsPerOp)

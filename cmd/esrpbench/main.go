@@ -61,12 +61,17 @@ func main() {
 		hostBaseline = flag.String("host-baseline", "", "previous BENCH_PR*.json to chain from (\"\" = newest BENCH_PR*.json in the current directory)")
 		hostNote     = flag.String("host-note", "", "free-form note recorded in the "+hostBenchFile+" export")
 
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		check          = flag.String("check", "", "perf-regression sentinel: re-run the benchmarks of this committed BENCH_PR*.json and exit non-zero (with a per-row delta table) when ns/op or allocs/op regress beyond the tolerances")
+		checkTolNs     = flag.Float64("check-tol-ns", 0.35, "fractional ns/op regression tolerated by -check (0.35 = +35%)")
+		checkTolAllocs = flag.Float64("check-tol-allocs", 0.15, "fractional allocs/op regression tolerated by -check")
+
+		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile    = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		allocsprofile = flag.String("allocsprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
-	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	stop, err := profiling.Start(*cpuprofile, *memprofile, *allocsprofile)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -76,6 +81,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "esrpbench: %v\n", err)
 		}
 	}()
+
+	if *check != "" {
+		failed, err := runCheck(*check, *checkTolNs, *checkTolAllocs)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if failed > 0 {
+			fatalf("check: %d row(s) regressed beyond tolerance", failed)
+		}
+		fmt.Fprintln(os.Stderr, "esrpbench: check passed")
+		return
+	}
 
 	if *hostbench || *scaling {
 		if *jsonDir == "" {

@@ -68,17 +68,20 @@ func main() {
 		jsonPath = flag.String("json", "-", "JSON output path (- = stdout)")
 		csvPath  = flag.String("csv", "", "optional CSV output path (one row per cell)")
 		quiet    = flag.Bool("q", false, "suppress the aggregate table, summary, and live progress on stderr")
+		verbose  = flag.Bool("v", false, "extend the live progress meter with host-engine counters (cells done per shard, steals so far); report JSON/CSV are byte-identical either way")
 
-		metricsPath = flag.String("metrics", "", "write a Prometheus textfile snapshot of the campaign counters to this path")
-		traceSample = flag.Int("trace-sample", 0, "trace every N-th grid cell (0 = off); traces land in -trace-dir")
-		traceDir    = flag.String("trace-dir", "traces", "directory for sampled cell traces (Chrome trace_event JSON)")
+		metricsPath   = flag.String("metrics", "", "write a Prometheus textfile snapshot of the campaign counters (plus host-engine telemetry) to this path")
+		traceSample   = flag.Int("trace-sample", 0, "trace every N-th grid cell (0 = off); traces land in -trace-dir")
+		traceDir      = flag.String("trace-dir", "traces", "directory for sampled cell traces (Chrome trace_event JSON)")
+		hostTracePath = flag.String("host-trace", "", "write a wall-clock Chrome trace of the host workers (cell and steal spans) to this path")
 
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile    = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		allocsprofile = flag.String("allocsprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
-	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	stop, err := profiling.Start(*cpuprofile, *memprofile, *allocsprofile)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -116,10 +119,20 @@ func main() {
 			}
 		}
 	}
+	// Host telemetry rides along whenever something consumes it: the -v
+	// meter, the host trace, or the metrics textfile. The report JSON/CSV
+	// bytes are identical with the recorder on or off (pinned by tests).
+	var hostRec *esrp.HostRecorder
+	if *verbose || *hostTracePath != "" || *metricsPath != "" {
+		hostRec = esrp.NewHostRecorder()
+		grid.HostObs = hostRec
+	}
+
 	if !*quiet {
 		start := time.Now()
 		var progressMu sync.Mutex
 		hi := 0
+		showShards := *verbose
 		grid.Progress = func(done, total int) {
 			progressMu.Lock()
 			defer progressMu.Unlock()
@@ -134,6 +147,16 @@ func main() {
 			elapsed := time.Since(start).Seconds()
 			rate := float64(done) / math.Max(elapsed, 1e-9)
 			eta := time.Duration(float64(total-done) / rate * float64(time.Second))
+			if showShards {
+				perShard := make([]string, 0, 8)
+				for _, c := range hostRec.LiveWorkerCells() {
+					perShard = append(perShard, strconv.FormatInt(c, 10))
+				}
+				fmt.Fprintf(os.Stderr, "\rcells %d/%d (%.1f/s, ETA %v) shards [%s] steals %d   ",
+					done, total, rate, eta.Round(time.Second),
+					strings.Join(perShard, " "), hostRec.LiveSteals())
+				return
+			}
 			fmt.Fprintf(os.Stderr, "\rcells %d/%d (%.1f/s, ETA %v)   ", done, total, rate, eta.Round(time.Second))
 		}
 	}
@@ -156,13 +179,38 @@ func main() {
 			fatalf("writing CSV: %v", err)
 		}
 	}
+	if *hostTracePath != "" {
+		if err := writeHostTrace(hostRec, rep, *hostTracePath); err != nil {
+			fatalf("writing host trace: %v", err)
+		}
+	}
 	if *metricsPath != "" {
 		if err := writeOut(*metricsPath, func(w io.Writer) error {
-			return rep.WriteMetrics(w, esrp.CurrentBuild())
+			if err := rep.WriteMetrics(w, esrp.CurrentBuild()); err != nil {
+				return err
+			}
+			// Host-engine telemetry lands in the same textfile, so one
+			// scrape target carries the simulated and the wall-clock view.
+			tel := hostRec.Telemetry()
+			return tel.WritePrometheus(w)
 		}); err != nil {
 			fatalf("writing metrics: %v", err)
 		}
 	}
+}
+
+// writeHostTrace exports the wall-clock worker trace, self-validated
+// against the same trace_event schema check as the simulated cell traces.
+func writeHostTrace(rec *esrp.HostRecorder, rep *esrp.CampaignReport, path string) error {
+	tr := esrp.BuildHostTrace(rec, rep, esrp.CurrentBuild())
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		return err
+	}
+	if err := esrp.ValidateChromeTrace(buf.Bytes()); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
 }
 
 // writeCellTrace exports one sampled cell's Chrome trace, self-validated

@@ -58,6 +58,7 @@ import (
 	"esrp/internal/dist"
 	"esrp/internal/faultsim"
 	"esrp/internal/harness"
+	"esrp/internal/hostobs"
 	"esrp/internal/matgen"
 	"esrp/internal/obs"
 	"esrp/internal/precond"
@@ -222,6 +223,39 @@ type (
 	// carried by traces and exports.
 	BuildInfo = obs.BuildInfo
 )
+
+// Host observability: wall-clock telemetry of the real execution engine —
+// the counterpart of the simulated-clock layer above (see internal/hostobs
+// and DESIGN.md § Host observability).
+type (
+	// BarrierStats accumulates per-member wall-clock wait histograms
+	// (spin/yield/park regimes), arrival-order skew and abort counts from
+	// the combining-tree barrier under every collective (Config.HostStats).
+	BarrierStats = hostobs.BarrierStats
+	// HostRecorder records a campaign's host-side execution: per-worker
+	// cell/steal timelines, shard layout, affinity hit rate, shared barrier
+	// stats, and Go-runtime phase samples (CampaignGrid.HostObs).
+	HostRecorder = hostobs.CampaignRecorder
+	// HostTelemetry is the aggregated post-run view of a HostRecorder.
+	HostTelemetry = hostobs.CampaignTelemetry
+	// HostTrace is the wall-clock Chrome trace of a campaign's host
+	// workers; WriteChrome emits the same trace_event JSON schema as the
+	// simulated-clock Trace.
+	HostTrace = obs.HostTrace
+)
+
+// NewBarrierStats sizes host barrier telemetry for clusters of up to n nodes.
+func NewBarrierStats(n int) *BarrierStats { return hostobs.NewBarrierStats(n) }
+
+// NewHostRecorder returns an empty campaign host recorder; RunCampaign
+// initializes it when attached via CampaignGrid.HostObs.
+func NewHostRecorder() *HostRecorder { return hostobs.NewCampaignRecorder() }
+
+// BuildHostTrace converts a finished campaign's host recorder into the
+// wall-clock worker trace, with cell spans labeled by grid coordinates.
+func BuildHostTrace(rec *HostRecorder, rep *CampaignReport, build BuildInfo) *HostTrace {
+	return campaign.BuildHostTrace(rec, rep, build)
+}
 
 // CurrentBuild reports the running binary's build provenance, read from the
 // embedded debug build information.

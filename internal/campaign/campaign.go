@@ -26,6 +26,7 @@ import (
 	"esrp/internal/cluster"
 	"esrp/internal/core"
 	"esrp/internal/faultsim"
+	"esrp/internal/hostobs"
 	"esrp/internal/obs"
 	"esrp/internal/precond"
 	"esrp/internal/sparse"
@@ -85,6 +86,15 @@ type Grid struct {
 	// of completed cells and the grid size — the hook for live progress
 	// meters. Called from worker goroutines.
 	Progress func(done, total int)
+
+	// HostObs, when set, records host-side execution telemetry for the run:
+	// per-worker wall-clock cell/steal timelines, shard layout and steal
+	// traffic, prepKey-affinity hit rate, barrier wait histograms shared by
+	// every cell's simulated cluster, and Go-runtime samples at phase
+	// boundaries. Nil (the default) records nothing — the worker loop then
+	// never reads the wall clock, and report bytes, cell trajectories and
+	// allocation behaviour are identical to a recorder-less run.
+	HostObs *hostobs.CampaignRecorder
 }
 
 // Cell is one grid point: its coordinates, the compiled scenario, and the
@@ -293,6 +303,18 @@ func Run(g Grid) (*Report, error) {
 		matrices[m.Name] = m
 	}
 
+	// Host telemetry (inert when HostObs is nil): one barrier-stats sink
+	// sized for the largest cluster of the grid serves every cell, and the
+	// runtime sampler brackets the prepare and solve phases.
+	maxNodes := 0
+	for _, n := range g.Nodes {
+		if n > maxNodes {
+			maxNodes = n
+		}
+	}
+	g.HostObs.Begin(g.Workers, len(cells), maxNodes)
+	g.HostObs.SamplePhase("start")
+
 	// Build each distinct solve context (partition, plan, local matrices,
 	// preconditioners) exactly once, before the pool starts: many cells
 	// differ only in T, seed or strategy-within-augmentation and share the
@@ -300,6 +322,7 @@ func Run(g Grid) (*Report, error) {
 	// lookup. A context that fails to prepare stays nil and the cell falls
 	// back to the old per-cell path (surfacing the same error).
 	preps := g.prepareContexts(cells, matrices)
+	g.HostObs.SamplePhase("prepared")
 
 	// Executor half: drain the affinity-sharded schedule (see schedule.go)
 	// on Workers goroutines. Results land at their cell index, so the
@@ -310,6 +333,14 @@ func Run(g Grid) (*Report, error) {
 	// finished cell, so callbacks see each value of 1..total exactly once
 	// (delivery order across workers is not a contract).
 	sched := newSchedule(cells, g.Workers)
+	sched.rec = g.HostObs
+	if g.HostObs != nil {
+		layout := make([]int, len(sched.shards))
+		for i := range sched.shards {
+			layout[i] = len(sched.shards[i].queue)
+		}
+		g.HostObs.ShardLayout(layout)
+	}
 	var wg sync.WaitGroup
 	var done atomic.Int64
 	total := len(cells)
@@ -318,13 +349,20 @@ func Run(g Grid) (*Report, error) {
 		go func(w int) {
 			defer wg.Done()
 			ws := core.NewWorkspace()
+			wl := g.HostObs.Worker(w) // nil handle when telemetry is off
+			var lastKey prepKey
+			haveKey := false
 			for {
 				i, ok := sched.next(w)
 				if !ok {
 					return
 				}
 				c := &cells[i]
-				g.runCell(i, c, matrices[c.Matrix], preps[prepKeyOf(c)], ws)
+				key := prepKeyOf(c)
+				t0 := wl.Clock()
+				g.runCell(i, c, matrices[c.Matrix], preps[key], ws)
+				wl.Cell(t0, i, haveKey && key == lastKey)
+				lastKey, haveKey = key, true
 				if g.Progress != nil {
 					g.Progress(int(done.Add(1)), total)
 				}
@@ -332,6 +370,7 @@ func Run(g Grid) (*Report, error) {
 		}(w)
 	}
 	wg.Wait()
+	g.HostObs.SamplePhase("done")
 
 	return &Report{
 		Scenario:   g.Scenario.String(),
@@ -470,6 +509,7 @@ func (g Grid) runCell(index int, c *Cell, m MatrixSpec, prep *core.Prepared, ws 
 		Failures:  events,
 		Prepared:  prep,
 		Workspace: ws,
+		HostStats: g.HostObs.BarrierStats(), // nil when telemetry is off
 	}
 	if strat == core.StrategyESR || strat == core.StrategyESRP {
 		cfg.Spares = g.Spares

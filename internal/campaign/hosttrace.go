@@ -1,0 +1,28 @@
+package campaign
+
+import (
+	"fmt"
+
+	"esrp/internal/hostobs"
+	"esrp/internal/obs"
+)
+
+// BuildHostTrace converts the recorder of a finished campaign into the
+// wall-clock Chrome trace of its host workers, labeling every cell span
+// with the cell's grid coordinates so the host timeline and the sampled
+// simulated-clock cell traces cross-reference by eye in Perfetto. Returns
+// nil when rec is nil.
+func BuildHostTrace(rec *hostobs.CampaignRecorder, rep *Report, build obs.BuildInfo) *obs.HostTrace {
+	if rec == nil {
+		return nil
+	}
+	return rec.BuildTrace("esrp host workers", build, func(index int) (string, string) {
+		if rep == nil || index < 0 || index >= len(rep.Cells) {
+			return fmt.Sprintf("cell %d", index), "cell"
+		}
+		c := &rep.Cells[index]
+		name := fmt.Sprintf("%s/%s n=%d T=%d φ=%d seed=%d",
+			c.Matrix, c.Strategy, c.Nodes, c.T, c.Phi, c.Seed)
+		return name, c.Strategy
+	})
+}

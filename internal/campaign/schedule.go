@@ -2,6 +2,8 @@ package campaign
 
 import (
 	"sync"
+
+	"esrp/internal/hostobs"
 )
 
 // This file is the scheduling half of the campaign engine. Run enumerates
@@ -28,9 +30,13 @@ import (
 // affinity run (stolen tails are contiguous grid order, usually one key).
 const stealChunk = 8
 
-// schedule is a set of per-worker cell queues.
+// schedule is a set of per-worker cell queues. rec, when non-nil, receives
+// steal telemetry (attempts, successes, cells moved, steal spans); the
+// own-shard pop path is untouched by it, so the hot path of a telemetry-off
+// run is byte-for-byte the old one.
 type schedule struct {
 	shards []shard
+	rec    *hostobs.CampaignRecorder
 }
 
 // shard is one worker's queue of cell indices. The owner pops at head —
@@ -133,6 +139,7 @@ func (s *schedule) next(me int) (int, bool) {
 	if i, ok := own.pop(); ok {
 		return i, true
 	}
+	wl := s.rec.Worker(me) // nil handle when telemetry is off
 	for {
 		victim, best := -1, 0
 		for j := range s.shards {
@@ -146,11 +153,14 @@ func (s *schedule) next(me int) (int, bool) {
 		if victim < 0 {
 			return 0, false
 		}
+		t0 := wl.Clock()
+		wl.StealAttempt()
 		stolen := s.shards[victim].stealTail(stealChunk)
 		if len(stolen) == 0 {
 			continue // lost the race to the victim's owner; rescan
 		}
 		own.push(stolen[1:])
+		wl.Steal(t0, len(stolen))
 		return stolen[0], true
 	}
 }

@@ -3,6 +3,9 @@ package cluster
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
+
+	"esrp/internal/hostobs"
 )
 
 // barrier is the scalable synchronization core of a collective arena. It
@@ -53,6 +56,15 @@ type barrier struct {
 	// positive when the members fit the host Ps, zero (yield-then-park)
 	// when the ranks oversubscribe them.
 	spin int
+
+	// stats is the optional host-telemetry sink (nil = uninstrumented; the
+	// hot path then pays one nil check and touches no clock). arrivals is
+	// the within-phase arrival sequence feeding the arrival-order skew
+	// tally; the phase releaser resets it before flipping the phase, which
+	// is safe because every next-phase arrival happens after observing the
+	// flip.
+	stats    *hostobs.BarrierStats
+	arrivals atomic.Int32
 }
 
 // combineArity is the fan-in of the arrival tree. 4 keeps the tree shallow
@@ -86,9 +98,11 @@ type parkCell struct {
 	_      [48]byte
 }
 
-// newBarrier builds the combining tree for n members (n ≥ 1).
-func newBarrier(n int) *barrier {
-	b := &barrier{n: n, cells: make([]parkCell, n)}
+// newBarrier builds the combining tree for n members (n ≥ 1). st is the
+// optional telemetry sink (nil = uninstrumented); when set, it must have
+// capacity for at least n members.
+func newBarrier(n int, st *hostobs.BarrierStats) *barrier {
+	b := &barrier{n: n, cells: make([]parkCell, n), stats: st}
 	for i := range b.cells {
 		b.cells[i].wake = make(chan struct{}, 1)
 	}
@@ -158,28 +172,61 @@ func (b *barrier) await(me int) {
 	if b.aborted.Load() {
 		panic(abortedPanic())
 	}
+	st := b.stats // nil on the uninstrumented path: no clock reads below
+	if st != nil {
+		st.Arrive(me, b.arrivals.Add(1)-1)
+	}
 	p := b.phase.Load()
 	if b.arrive(me) {
+		if st != nil {
+			// Reset the arrival sequence for the next phase before the flip:
+			// next-phase arrivals happen-after observing the flip, so none
+			// can race the reset.
+			b.arrivals.Store(0)
+			st.Release(me)
+		}
 		b.phase.Add(1)
 		b.wakeParked()
 		return
 	}
-	for i := 0; i < b.spin; i++ {
+	var t0 time.Time
+	if b.spin > 0 {
+		if st != nil {
+			t0 = time.Now()
+		}
+		for i := 0; i < b.spin; i++ {
+			if b.phase.Load() != p {
+				if st != nil {
+					st.Wait(me, hostobs.RegimeSpin, int64(time.Since(t0)))
+				}
+				return
+			}
+			if b.aborted.Load() {
+				panic(abortedPanic())
+			}
+		}
+		if st != nil {
+			st.Wait(me, hostobs.RegimeSpin, int64(time.Since(t0)))
+		}
+	}
+	if st != nil {
+		t0 = time.Now()
+	}
+	for i := 0; i < yieldBudget; i++ {
+		runtime.Gosched()
 		if b.phase.Load() != p {
+			if st != nil {
+				st.Wait(me, hostobs.RegimeYield, int64(time.Since(t0)))
+			}
 			return
 		}
 		if b.aborted.Load() {
 			panic(abortedPanic())
 		}
 	}
-	for i := 0; i < yieldBudget; i++ {
-		runtime.Gosched()
-		if b.phase.Load() != p {
-			return
-		}
-		if b.aborted.Load() {
-			panic(abortedPanic())
-		}
+	if st != nil {
+		st.Wait(me, hostobs.RegimeYield, int64(time.Since(t0)))
+		t0 = time.Now()
 	}
 	cell := &b.cells[me]
 	for b.phase.Load() == p && !b.aborted.Load() {
@@ -192,6 +239,9 @@ func (b *barrier) await(me int) {
 			break
 		}
 		<-cell.wake
+	}
+	if st != nil {
+		st.Wait(me, hostobs.RegimePark, int64(time.Since(t0)))
 	}
 	if b.aborted.Load() {
 		panic(abortedPanic())
@@ -212,6 +262,7 @@ func (b *barrier) wakeParked() {
 // abort marks the barrier dead and unparks every waiter; spinning waiters
 // observe the flag directly. Arrivals after abort panic on entry.
 func (b *barrier) abort() {
+	b.stats.Abort() // nil-safe
 	b.aborted.Store(true)
 	b.wakeParked()
 }

@@ -17,7 +17,7 @@ import (
 func TestBarrierPhases(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 4, 5, 7, 16, 17, 33} {
 		t.Run(fmt.Sprintf("n-%d", n), func(t *testing.T) {
-			b := newBarrier(n)
+			b := newBarrier(n, nil)
 			var counter atomic.Int64
 			const phases = 200
 			var wg sync.WaitGroup
@@ -48,7 +48,7 @@ func TestBarrierPhases(t *testing.T) {
 // pins that await after abort panics immediately.
 func TestBarrierAbortUnparks(t *testing.T) {
 	const n = 5
-	b := newBarrier(n)
+	b := newBarrier(n, nil)
 	var aborted atomic.Int32
 	var wg sync.WaitGroup
 	for me := 0; me < n-1; me++ { // member n-1 never arrives

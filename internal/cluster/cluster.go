@@ -50,6 +50,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"esrp/internal/hostobs"
 	"esrp/internal/obs"
 )
 
@@ -196,6 +197,8 @@ type Comm struct {
 
 	rec *obs.Recorder // nil = no instrumentation (the default)
 
+	hostStats *hostobs.BarrierStats // nil = no host telemetry (the default)
+
 	finalClocks []float64 // filled by Run
 	wallTime    time.Duration
 }
@@ -224,6 +227,26 @@ func New(n int, model CostModel) *Comm {
 // own per-rank buffer. Must be called before Run; a nil recorder (or not
 // calling Observe at all) keeps the zero-overhead disabled path.
 func (c *Comm) Observe(rec *obs.Recorder) { c.rec = rec }
+
+// ObserveHost attaches host-side barrier telemetry: every arena barrier —
+// the root view's and any sub-communicator's — records per-member wait
+// time (split by spin/yield/park regime), arrival-order skew, releases,
+// and aborts into st. Members are indexed by view-local rank, so st must
+// have capacity ≥ n. Must be called before Run, like Observe; a nil st
+// (or not calling ObserveHost) keeps the zero-overhead disabled path.
+func (c *Comm) ObserveHost(st *hostobs.BarrierStats) {
+	if st != nil && st.Cap() < c.n {
+		panic(fmt.Sprintf("cluster: ObserveHost stats capacity %d < %d nodes", st.Cap(), c.n))
+	}
+	c.hostStats = st
+	// The root arena already exists (New creates it); retrofit it and any
+	// other pre-Run arenas. Arenas created later pick st up in arenaFor.
+	c.arenaMu.Lock()
+	for _, a := range c.arenas {
+		a.bar.stats = st
+	}
+	c.arenaMu.Unlock()
+}
 
 // N returns the number of nodes.
 func (c *Comm) N() int { return c.n }
@@ -272,7 +295,7 @@ func (c *Comm) arenaFor(ranks []int) *arena {
 	defer c.arenaMu.Unlock()
 	a, ok := c.arenas[string(key)]
 	if !ok {
-		a = newArena(len(ranks))
+		a = newArena(len(ranks), c.hostStats)
 		select {
 		case <-c.abort: // run already failed: new arenas are born aborted
 			a.abortAll()
@@ -378,8 +401,8 @@ type arena struct {
 	bar *barrier
 }
 
-func newArena(n int) *arena {
-	a := &arena{n: n, bar: newBarrier(n)}
+func newArena(n int, st *hostobs.BarrierStats) *arena {
+	a := &arena{n: n, bar: newBarrier(n, st)}
 	for b := range a.slots {
 		a.slots[b] = make([][]float64, n)
 		a.clocks[b] = make([]float64, n)

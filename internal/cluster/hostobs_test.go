@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"esrp/internal/hostobs"
+)
+
+// TestBarrierStatsWaitBounded drives an instrumented barrier over many
+// phases and checks the accounting invariants the observability layer
+// promises: per-member phase counts match, exactly one member releases each
+// phase, arrival positions cover [0, n), and — the headline invariant — the
+// summed wait time never exceeds members × wall time.
+func TestBarrierStatsWaitBounded(t *testing.T) {
+	const n, phases = 5, 300
+	st := hostobs.NewBarrierStats(n)
+	b := newBarrier(n, st)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for me := 0; me < n; me++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			for p := 0; p < phases; p++ {
+				b.await(me)
+			}
+		}(me)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	snap := st.Snapshot()
+	var releases, arrivalSum int64
+	for m, ms := range snap.Members {
+		if ms.Phases != phases {
+			t.Errorf("member %d recorded %d phases, want %d", m, ms.Phases, phases)
+		}
+		releases += ms.Releases
+		arrivalSum += int64(math.Round(ms.MeanArrival * float64(ms.Phases)))
+		if ms.MeanArrival < 0 || ms.MeanArrival > n-1 {
+			t.Errorf("member %d mean arrival %g outside [0,%d]", m, ms.MeanArrival, n-1)
+		}
+	}
+	if releases != phases {
+		t.Errorf("%d releases recorded, want exactly one per phase (%d)", releases, phases)
+	}
+	// Each phase's arrival positions are a permutation of 0..n-1, so the
+	// total across members is phases * n*(n-1)/2.
+	if want := int64(phases * n * (n - 1) / 2); arrivalSum != want {
+		t.Errorf("arrival position sum %d, want %d", arrivalSum, want)
+	}
+	if got, limit := st.TotalWaitNs(), int64(n)*wall.Nanoseconds(); got > limit {
+		t.Errorf("total recorded wait %dns exceeds members×wall %dns", got, limit)
+	}
+	if st.Aborts() != 0 {
+		t.Errorf("aborts %d, want 0", st.Aborts())
+	}
+}
+
+// TestBarrierStatsAbort pins that an aborted barrier counts the abort and
+// that recording stops cleanly (waiters unwind without corrupting stats).
+func TestBarrierStatsAbort(t *testing.T) {
+	const n = 4
+	st := hostobs.NewBarrierStats(n)
+	b := newBarrier(n, st)
+	var wg sync.WaitGroup
+	for me := 0; me < n-1; me++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			defer func() { recover() }()
+			b.await(me)
+		}(me)
+	}
+	time.Sleep(10 * time.Millisecond)
+	b.abort()
+	wg.Wait()
+	if got := st.Aborts(); got != 1 {
+		t.Errorf("aborts %d, want 1", got)
+	}
+}
+
+// TestObserveHostOnComm runs collectives through an observed Comm and
+// checks the stats surface real barrier traffic, including the root arena
+// that exists before ObserveHost is called (the retrofit path).
+func TestObserveHostOnComm(t *testing.T) {
+	const n = 4
+	c := New(n, DefaultCostModel())
+	st := hostobs.NewBarrierStats(n)
+	c.ObserveHost(st)
+	err := c.Run(func(nd *Node) {
+		for i := 0; i < 10; i++ {
+			nd.Barrier()
+			nd.AllreduceScalar(OpSum, float64(nd.Rank()))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	var phases int64
+	for _, ms := range snap.Members {
+		phases += ms.Phases
+	}
+	if phases == 0 {
+		t.Fatal("observed Comm recorded no barrier phases")
+	}
+	if st.TotalWaitNs() < 0 {
+		t.Errorf("negative total wait %d", st.TotalWaitNs())
+	}
+}
+
+// TestObserveHostCapacityPanics pins the guard against undersized stats.
+func TestObserveHostCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ObserveHost with capacity < n did not panic")
+		}
+	}()
+	New(4, DefaultCostModel()).ObserveHost(hostobs.NewBarrierStats(2))
+}
+
+// TestBarrierUninstrumentedAllocFree pins that with stats disabled the
+// barrier's await path does not allocate and never reads the wall clock —
+// the zero-overhead-when-off contract.
+func TestBarrierUninstrumentedAllocFree(t *testing.T) {
+	b := newBarrier(1, nil)
+	if allocs := testing.AllocsPerRun(100, func() { b.await(0) }); allocs != 0 {
+		t.Errorf("uninstrumented await allocates %.1f per phase, want 0", allocs)
+	}
+	bi := newBarrier(1, hostobs.NewBarrierStats(1))
+	if allocs := testing.AllocsPerRun(100, func() { bi.await(0) }); allocs != 0 {
+		t.Errorf("instrumented await allocates %.1f per phase, want 0", allocs)
+	}
+}

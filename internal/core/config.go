@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"esrp/internal/cluster"
+	"esrp/internal/hostobs"
 	"esrp/internal/obs"
 	"esrp/internal/precond"
 	"esrp/internal/sparse"
@@ -221,6 +222,17 @@ type Config struct {
 	// on, the recorded data is itself deterministic (simulated timestamps,
 	// single-writer per-rank buffers).
 	Observe *obs.Options
+
+	// HostStats enables host-side barrier telemetry (internal/hostobs):
+	// per-member wall-clock wait histograms split by spin/yield/park
+	// regime, arrival-order skew, and abort counts from the combining-tree
+	// barrier underneath every collective. It must have capacity ≥ Nodes
+	// (validated) and may be shared by many solves — campaign runs hand
+	// every cell the same stats so the histograms aggregate over the whole
+	// sweep. Nil (the default) records nothing: the barrier hot path then
+	// pays one nil check and never reads the wall clock, keeping the
+	// zero-allocation and determinism guarantees exactly as without it.
+	HostStats *hostobs.BarrierStats
 }
 
 // withDefaults returns a copy of cfg with defaults applied, or an error if
@@ -243,6 +255,9 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.Nodes > cfg.A.Rows {
 		return cfg, fmt.Errorf("core: more nodes (%d) than rows (%d)", cfg.Nodes, cfg.A.Rows)
+	}
+	if cfg.HostStats != nil && cfg.HostStats.Cap() < cfg.Nodes {
+		return cfg, fmt.Errorf("core: HostStats capacity %d < %d nodes", cfg.HostStats.Cap(), cfg.Nodes)
 	}
 	if cfg.Rtol <= 0 {
 		cfg.Rtol = 1e-8

@@ -65,6 +65,9 @@ func SolvePipelined(cfg Config) (*Result, error) {
 	comm := cluster.New(cfg.Nodes, model)
 	rec := newRecorder(&cfg)
 	comm.Observe(rec)
+	if cfg.HostStats != nil {
+		comm.ObserveHost(cfg.HostStats)
+	}
 	result := &Result{}
 	nodeMem := make([]int64, cfg.Nodes)
 	nodeHalo := make([]int64, cfg.Nodes)

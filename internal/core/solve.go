@@ -40,6 +40,9 @@ func Solve(cfg Config) (*Result, error) {
 	comm := cluster.New(cfg.Nodes, model)
 	rec := newRecorder(&cfg)
 	comm.Observe(rec)
+	if cfg.HostStats != nil {
+		comm.ObserveHost(cfg.HostStats)
+	}
 	result := &Result{}
 	// Per-node metric slots (each goroutine writes only its own index, like
 	// comm's final clocks): collected host-side after the run so the

@@ -1,0 +1,52 @@
+package hostobs
+
+import (
+	"strconv"
+
+	"esrp/internal/obs"
+)
+
+// BuildTrace converts the recorder into an obs.HostTrace: one thread per
+// campaign worker, one "X" span per solved cell (named by the label
+// callback, typically "matrix/strategy T=.. φ=..") and per successful
+// steal. The phase arg distinguishes affinity-hit cells ("affinity") from
+// context-switch cells ("cold"); steal spans carry the cells moved in the
+// iter arg. Returns nil on a nil recorder.
+func (r *CampaignRecorder) BuildTrace(process string, build obs.BuildInfo, label func(index int) (name, cat string)) *obs.HostTrace {
+	if r == nil {
+		return nil
+	}
+	t := &obs.HostTrace{
+		Process:     process,
+		WallSeconds: float64(r.WallNs()) / 1e9,
+		Build:       build,
+		Threads:     make([]obs.HostThread, len(r.workers)),
+	}
+	for w := range r.workers {
+		wl := &r.workers[w]
+		th := &t.Threads[w]
+		th.Name = "worker " + strconv.Itoa(w)
+		th.Spans = make([]obs.HostSpan, 0, len(wl.spans))
+		for _, s := range wl.spans {
+			hs := obs.HostSpan{
+				Start: float64(s.startNs) / 1e9,
+				End:   float64(s.endNs) / 1e9,
+				Iter:  s.index,
+			}
+			switch s.kind {
+			case spanCell:
+				hs.Name, hs.Cat = label(s.index)
+				if s.affinity {
+					hs.Phase = "affinity"
+				} else {
+					hs.Phase = "cold"
+				}
+			case spanSteal:
+				hs.Name, hs.Cat = "steal", "sched"
+				hs.Phase = "steal"
+			}
+			th.Spans = append(th.Spans, hs)
+		}
+	}
+	return t
+}

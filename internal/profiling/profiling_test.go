@@ -7,7 +7,7 @@ import (
 )
 
 func TestStartNoOp(t *testing.T) {
-	stop, err := Start("", "")
+	stop, err := Start("", "", "")
 	if err != nil {
 		t.Fatalf("Start with no paths: %v", err)
 	}
@@ -16,15 +16,16 @@ func TestStartNoOp(t *testing.T) {
 	}
 }
 
-func TestCPUAndHeapProfiles(t *testing.T) {
+func TestCPUHeapAndAllocsProfiles(t *testing.T) {
 	dir := t.TempDir()
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
-	stop, err := Start(cpu, mem)
+	allocs := filepath.Join(dir, "allocs.pprof")
+	stop, err := Start(cpu, mem, allocs)
 	if err != nil {
 		t.Fatalf("Start: %v", err)
 	}
-	// Burn a little CPU so the profile has something to sample.
+	// Burn a little CPU and heap so the profiles have something to sample.
 	s := 0.0
 	for i := 0; i < 1_000_000; i++ {
 		s += float64(i % 7)
@@ -33,7 +34,7 @@ func TestCPUAndHeapProfiles(t *testing.T) {
 	if err := stop(); err != nil {
 		t.Fatalf("stop: %v", err)
 	}
-	for _, p := range []string{cpu, mem} {
+	for _, p := range []string{cpu, mem, allocs} {
 		fi, err := os.Stat(p)
 		if err != nil {
 			t.Fatalf("profile %s not written: %v", p, err)
@@ -46,7 +47,7 @@ func TestCPUAndHeapProfiles(t *testing.T) {
 
 func TestStopIdempotent(t *testing.T) {
 	dir := t.TempDir()
-	stop, err := Start(filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof"))
+	stop, err := Start(filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof"), filepath.Join(dir, "allocs.pprof"))
 	if err != nil {
 		t.Fatalf("Start: %v", err)
 	}
@@ -65,7 +66,7 @@ func TestStopErrorSticky(t *testing.T) {
 	// The heap profile targets a path whose parent does not exist, so the
 	// stop fails; the failure must repeat verbatim instead of turning into
 	// a spurious success.
-	stop, err := Start("", filepath.Join(dir, "missing", "mem.pprof"))
+	stop, err := Start("", filepath.Join(dir, "missing", "mem.pprof"), "")
 	if err != nil {
 		t.Fatalf("Start: %v", err)
 	}
@@ -78,9 +79,20 @@ func TestStopErrorSticky(t *testing.T) {
 	}
 }
 
+func TestStopErrorStickyAllocs(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := Start("", "", filepath.Join(dir, "missing", "allocs.pprof"))
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if stop() == nil {
+		t.Fatal("stop with unwritable allocs path succeeded")
+	}
+}
+
 func TestStartBadCPUPath(t *testing.T) {
 	dir := t.TempDir()
-	if _, err := Start(filepath.Join(dir, "missing", "cpu.pprof"), ""); err == nil {
+	if _, err := Start(filepath.Join(dir, "missing", "cpu.pprof"), "", ""); err == nil {
 		t.Fatal("Start with unwritable CPU path succeeded")
 	}
 }
