@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -127,6 +128,57 @@ func TestRenderCheckTable(t *testing.T) {
 	}
 	if !strings.Contains(out, "tolerances: ns/op +35%, allocs/op +15%") {
 		t.Errorf("table missing tolerance footer:\n%s", out)
+	}
+}
+
+// TestCheckToleratesPR5EraBaseline pins backward compatibility of the
+// sentinel's baseline format: a BENCH_PR5-era export predates the host
+// telemetry columns (barrier_wait_share, steals, gc_pause_ns) and the
+// num_cpu stamp, and -check must parse it and compare cleanly — the
+// missing columns decode to zero and never enter the ns/allocs gates.
+func TestCheckToleratesPR5EraBaseline(t *testing.T) {
+	const pr5JSON = `{
+  "go_version": "go1.24",
+  "gomaxprocs": 8,
+  "build": {"go_version": "go1.24"},
+  "baseline_kernel": "csr",
+  "optimized_kernel": "auto",
+  "baseline": [
+    {"name": "solve/none", "gomaxprocs": 8, "ns_per_op": 2000000, "allocs_per_op": 300, "bytes_per_op": 40000}
+  ],
+  "optimized": [
+    {"name": "solve/none", "gomaxprocs": 8, "ns_per_op": 1000000, "allocs_per_op": 200, "bytes_per_op": 30000},
+    {"name": "campaign/smoke-grid", "gomaxprocs": 8, "ns_per_op": 60000000, "allocs_per_op": 8000, "bytes_per_op": 900000, "cells_per_sec": 120}
+  ]
+}`
+	var base HostBenchReport
+	if err := json.Unmarshal([]byte(pr5JSON), &base); err != nil {
+		t.Fatalf("PR5-era baseline no longer parses: %v", err)
+	}
+	if len(base.Optimized) != 2 {
+		t.Fatalf("decoded %d optimized rows, want 2", len(base.Optimized))
+	}
+	for _, r := range base.Optimized {
+		if r.BarrierWaitShare != 0 || r.Steals != 0 || r.GCPauseNs != 0 || r.NumCPU != 0 {
+			t.Errorf("row %s: missing telemetry columns decoded non-zero: %+v", r.Name, r)
+		}
+	}
+	same := func(name string) (esrpMetric, bool) {
+		for _, b := range base.Optimized {
+			if b.Name == name {
+				return esrpMetric{NsPerOp: b.NsPerOp, AllocsPerOp: b.AllocsPerOp}, true
+			}
+		}
+		return esrpMetric{}, false
+	}
+	rows, failed := checkAgainst(base.Optimized, same, 0.35, 0.15)
+	if failed != 0 {
+		t.Fatalf("PR5-era baseline failed %d rows on identical measurements", failed)
+	}
+	for _, r := range rows {
+		if r.Skipped || r.Failed {
+			t.Errorf("row %s: skipped=%v failed=%v, want clean pass", r.Name, r.Skipped, r.Failed)
+		}
 	}
 }
 

@@ -19,7 +19,7 @@ import (
 // number alongside each performance PR: the chaining below picks up the
 // newest lower-numbered BENCH_PR*.json automatically, so the trajectory
 // stays machine-readable without hand-wiring file names.
-const hostBenchFile = "BENCH_PR8.json"
+const hostBenchFile = "BENCH_PR9.json"
 
 // HostMetric is one host-side performance measurement: wall-clock and
 // allocation cost per operation, plus sweep throughput for the campaign
@@ -31,6 +31,7 @@ const hostBenchFile = "BENCH_PR8.json"
 type HostMetric struct {
 	Name        string  `json:"name"`
 	GoMaxProcs  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"num_cpu,omitempty"` // host CPU count the row was measured on
 	NsPerOp     int64   `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -53,6 +54,7 @@ type HostMetric struct {
 type ScalingRow struct {
 	Name        string  `json:"name"`
 	GoMaxProcs  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"num_cpu,omitempty"` // host CPU count: gomaxprocs > num_cpu rows are oversubscribed
 	NsPerOp     int64   `json:"ns_per_op"`
 	CellsPerSec float64 `json:"cells_per_sec,omitempty"` // campaign rows only
 	Speedup     float64 `json:"speedup"`                 // t(1 proc) / t(this row)
@@ -74,6 +76,7 @@ type ScalingRow struct {
 type HostBenchReport struct {
 	GoVersion  string `json:"go_version"`
 	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu,omitempty"`
 	Note       string `json:"note,omitempty"`
 
 	// Build carries the VCS provenance of the benchmarking binary, so a
@@ -92,6 +95,14 @@ type HostBenchReport struct {
 	// benchmarks re-measured at GOMAXPROCS ∈ {1, 2, 4, NumCPU} under
 	// kernel=auto, with per-row speedup and parallel efficiency.
 	Scaling []ScalingRow `json:"scaling,omitempty"`
+
+	// Replay is the PR 9 row family: the same machine-parameter grid costed
+	// the full way (one solve per machine point) and the replay way (one
+	// recorded solve, one O(events) re-cost per machine point). Both rows
+	// report cells/sec over the same grid; ReplaySpeedup is their ratio —
+	// the throughput multiplier the replay engine buys machine sweeps.
+	Replay        []HostMetric `json:"replay,omitempty"`
+	ReplaySpeedup float64      `json:"replay_speedup,omitempty"`
 }
 
 // hostBenchCases mirrors bench_test.go's BenchmarkHostSolve fixtures — the
@@ -159,7 +170,7 @@ func benchCampaign(kernel esrp.KernelKind) HostMetric {
 	})
 	elapsed := time.Since(start).Seconds()
 	m := HostMetric{
-		Name: "campaign/smoke-grid", GoMaxProcs: runtime.GOMAXPROCS(0),
+		Name: "campaign/smoke-grid", GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 		NsPerOp:     r.NsPerOp(),
 		AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
 	}
@@ -182,7 +193,7 @@ func benchSolve(cfg esrp.Config, kernel esrp.KernelKind) HostMetric {
 		}
 	})
 	return HostMetric{
-		GoMaxProcs: runtime.GOMAXPROCS(0), NsPerOp: r.NsPerOp(),
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), NsPerOp: r.NsPerOp(),
 		AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
 	}
 }
@@ -279,8 +290,14 @@ func runScaling() []ScalingRow {
 	solveCase := hostBenchCases()[0] // solve/none: the pure data path
 	var rows []ScalingRow
 	baseNs := make(map[string]float64)
+	numCPU := runtime.NumCPU()
 	for _, p := range scalingProcs() {
 		runtime.GOMAXPROCS(p)
+		if p > numCPU {
+			fmt.Fprintf(os.Stderr,
+				"esrpbench: WARNING: GOMAXPROCS=%d exceeds the host's %d CPUs — this point is OVERSUBSCRIBED; "+
+					"its ns/op measures scheduler contention, not parallel speedup\n", p, numCPU)
+		}
 		fmt.Fprintf(os.Stderr, "esrpbench: scaling GOMAXPROCS=%d...\n", p)
 
 		sm := benchSolve(solveCase.cfg, esrp.KernelAuto)
@@ -292,7 +309,7 @@ func runScaling() []ScalingRow {
 			{Name: cm.Name, NsPerOp: cm.NsPerOp, CellsPerSec: cm.CellsPerSec,
 				BarrierWaitShare: cm.BarrierWaitShare, Steals: cm.Steals, GCPauseNs: cm.GCPauseNs}} {
 			row := ScalingRow{
-				Name: m.Name, GoMaxProcs: p,
+				Name: m.Name, GoMaxProcs: p, NumCPU: numCPU,
 				NsPerOp: m.NsPerOp, CellsPerSec: m.CellsPerSec,
 				BarrierWaitShare: m.BarrierWaitShare, Steals: m.Steals, GCPauseNs: m.GCPauseNs,
 			}
@@ -345,9 +362,15 @@ func latestBenchFile(dir string) (string, bool) {
 // lower-numbered BENCH_PR*.json in the working directory when empty)
 // contributes its optimized rows as the "previous" chain link.
 func writeHostBench(dir, baselinePath, note string, scaling bool) (string, error) {
+	if p := runtime.GOMAXPROCS(0); p > runtime.NumCPU() {
+		fmt.Fprintf(os.Stderr,
+			"esrpbench: WARNING: GOMAXPROCS=%d exceeds the host's %d CPUs — every row below is OVERSUBSCRIBED\n",
+			p, runtime.NumCPU())
+	}
 	rep := HostBenchReport{
 		GoVersion:       runtime.Version(),
 		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
 		Build:           esrp.CurrentBuild(),
 		Note:            note,
 		BaselineKernel:  esrp.KernelCSR.String(),
@@ -355,6 +378,7 @@ func writeHostBench(dir, baselinePath, note string, scaling bool) (string, error
 		Baseline:        runHostBench(esrp.KernelCSR),
 		Optimized:       runHostBench(esrp.KernelAuto),
 	}
+	rep.Replay, rep.ReplaySpeedup = runReplayBench()
 	if scaling {
 		rep.Scaling = runScaling()
 	}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+// TestReplayRowFamily runs the PR 9 replay rows end to end: the bitwise
+// gate inside runReplayBench must hold (rows are dropped when re-cost
+// diverges from the solve), and the re-cost sweep must beat the full-solve
+// sweep by a wide margin. The committed BENCH_PR9.json carries the real
+// measured ratio; the bound here is deliberately loose so a loaded CI host
+// cannot flake it.
+func TestReplayRowFamily(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full-solve machine sweep benchmark")
+	}
+	rows, speedup := runReplayBench()
+	if len(rows) != 3 {
+		t.Fatalf("replay row family has %d rows, want 3 (full, record-once, recost)", len(rows))
+	}
+	for _, r := range rows {
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s: ns/op = %d, want > 0", r.Name, r.NsPerOp)
+		}
+		if r.NumCPU <= 0 {
+			t.Errorf("%s: num_cpu not stamped", r.Name)
+		}
+	}
+	if speedup < 20 {
+		t.Errorf("re-cost sweep only %.1f× faster than full-solve sweep, want ≥ 20×", speedup)
+	}
+	t.Logf("replay sweep speedup: %.0f×", speedup)
+}

@@ -65,6 +65,9 @@ func main() {
 		workers = flag.Int("workers", 0, "concurrent cells on the host (0 = GOMAXPROCS)")
 		kernel  = flag.String("kernel", "auto", "SpMV kernel layout: auto|csr|sellc|band (cells and JSON are bit-identical under every choice)")
 
+		sweepMachine = flag.String("sweep-machine", "", "machine-parameter sweep on the replay engine: semicolon-separated LogGP value lists crossed into a grid, e.g. \"L=1x,4x,16x;G=1x,8x\" (keys L|o|G|f; absolute seconds or Nx multipliers of the default model). Each grid cell is solved and recorded once, then re-costed per machine point in O(events); results land in the report's machine_cells")
+		schedulesDir = flag.String("schedules", "", "directory for the per-cell recorded schedules (compact binary, replayable via esrp.ReadScheduleBinary); requires -sweep-machine")
+
 		jsonPath = flag.String("json", "-", "JSON output path (- = stdout)")
 		csvPath  = flag.String("csv", "", "optional CSV output path (one row per cell)")
 		quiet    = flag.Bool("q", false, "suppress the aggregate table, summary, and live progress on stderr")
@@ -102,6 +105,31 @@ func main() {
 	})
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	if *sweepMachine != "" {
+		machines, err := parseMachineSweep(*sweepMachine, esrp.DefaultCostModel())
+		if err != nil {
+			fatalf("bad -sweep-machine: %v", err)
+		}
+		grid.Machines = machines
+	}
+	if *schedulesDir != "" {
+		if len(grid.Machines) == 0 {
+			fatalf("-schedules requires -sweep-machine (schedules are recorded by the machine sweep)")
+		}
+		if err := os.MkdirAll(*schedulesDir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+		dir := *schedulesDir
+		grid.OnCellSchedule = func(index int, c *esrp.CampaignCell, s *esrp.Schedule) {
+			// Delivered concurrently, but every cell index gets its own file,
+			// so the writes never contend.
+			path := filepath.Join(dir, fmt.Sprintf("cell-%04d-%s-%s-T%d-seed%d.sched", index, c.Matrix, c.Strategy, c.T, c.Seed))
+			if err := writeSchedule(s, path); err != nil {
+				fmt.Fprintf(os.Stderr, "esrpcampaign: schedule %s: %v\n", path, err)
+			}
+		}
 	}
 
 	if *traceSample > 0 {

@@ -51,6 +51,8 @@
 package esrp
 
 import (
+	"io"
+
 	"esrp/internal/campaign"
 	"esrp/internal/ckptmodel"
 	"esrp/internal/cluster"
@@ -62,6 +64,7 @@ import (
 	"esrp/internal/matgen"
 	"esrp/internal/obs"
 	"esrp/internal/precond"
+	"esrp/internal/replay"
 	"esrp/internal/sparse"
 )
 
@@ -268,6 +271,69 @@ func ValidateChromeTrace(data []byte) error { return obs.ValidateChromeTrace(dat
 // DefaultCostModel returns the LogGP parameters loosely calibrated to the
 // paper's VSC3 platform.
 func DefaultCostModel() CostModel { return cluster.DefaultCostModel() }
+
+// Replay engine (internal/replay): record one solve's abstract event
+// schedule — every clock advance, point-to-point message, collective, and
+// recovery section — then re-cost it under arbitrary machine parameters in
+// O(events), without re-running any numeric work. Replayed under the
+// recording model, a schedule reproduces the solve's SimTime, RecoveryTime,
+// BytesSent and MsgsSent bit-for-bit.
+type (
+	// Schedule is a recorded solve's event schedule: per-rank program-order
+	// event streams plus communicator-view memberships, in canonical order.
+	// Serialize with Schedule.WriteBinary / Schedule.WriteJSON.
+	Schedule = replay.Schedule
+	// Replayed is the outcome of re-costing a schedule under one machine
+	// model: the replayed SimTime / RecoveryTime / BytesSent / MsgsSent plus
+	// per-rank clocks and per-event recovery envelopes.
+	Replayed = replay.Replayed
+	// ReplayEnvSpan is one replayed recovery envelope (failure event, start
+	// and end on the replayed simulated clock).
+	ReplayEnvSpan = replay.EnvSpan
+	// CampaignMachine is one named machine model of a campaign's
+	// machine-parameter sweep axis (CampaignGrid.Machines).
+	CampaignMachine = campaign.MachinePoint
+	// CampaignMachineCell is one (cell, machine) replay result of a swept
+	// campaign (CampaignReport.MachineCells).
+	CampaignMachineCell = campaign.MachineCell
+)
+
+// RecordSchedule runs one solve with schedule recording attached and returns
+// both the result and the recorded schedule. Recording adds no simulated
+// cost: the result is bit-identical to Solve(cfg)'s.
+func RecordSchedule(cfg Config) (*Result, *Schedule, error) {
+	rec := replay.NewRecorder()
+	cfg.Record = rec
+	res, err := core.Solve(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, rec.Schedule(), nil
+}
+
+// RecordSchedulePipelined is RecordSchedule for the pipelined solver.
+func RecordSchedulePipelined(cfg Config) (*Result, *Schedule, error) {
+	rec := replay.NewRecorder()
+	cfg.Record = rec
+	res, err := core.SolvePipelined(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, rec.Schedule(), nil
+}
+
+// Recost replays a recorded schedule under machine model m, running the
+// identical LogGP clock arithmetic the cluster ran when recording. Safe for
+// concurrent calls on one schedule.
+func Recost(s *Schedule, m CostModel) (*Replayed, error) {
+	return s.Recost(replay.CostModel(m))
+}
+
+// ReadScheduleBinary decodes a schedule written by Schedule.WriteBinary.
+func ReadScheduleBinary(r io.Reader) (*Schedule, error) { return replay.ReadBinary(r) }
+
+// ReadScheduleJSON decodes a schedule written by Schedule.WriteJSON.
+func ReadScheduleJSON(r io.Reader) (*Schedule, error) { return replay.ReadJSON(r) }
 
 // Matrix generators (synthetic analogs of the paper's test problems).
 

@@ -1,10 +1,18 @@
 // Failure rates: the paper's closing argument is that whether ESRP or IMCR
 // (and which interval T) is the right choice depends on how often the
 // machine fails. This example makes that concrete: it draws failure times
-// from a seeded exponential distribution for a range of machine MTBFs,
-// replays the solver against them, and reports the *expected* total runtime
-// per strategy and interval — alongside Daly's closed-form prediction of
-// the optimal interval from internal/ckptmodel.
+// from a seeded exponential distribution for a range of machine MTBFs and
+// reports the *expected* total runtime per strategy and interval — alongside
+// Daly's closed-form prediction of the optimal interval from
+// internal/ckptmodel.
+//
+// The estimator runs on the replay engine: each distinct scenario shape
+// (strategy, interval, failure iteration) is simulated and *recorded* once,
+// and every draw that maps onto it is costed by re-playing the recorded
+// event schedule in O(events) instead of re-running the solver. A re-cost
+// under the default machine reproduces the recorded solve bit for bit, and
+// this example checks that on every recording — so it doubles as a smoke
+// test for the replay engine (it exits non-zero on the first mismatch).
 //
 // One failure event at most strikes per solve (the paper's framework
 // simulates exactly one event per run; with MTBF ≫ solve time the chance of
@@ -16,6 +24,7 @@ import (
 	"log"
 	"math"
 	"math/rand"
+	"time"
 
 	"esrp"
 )
@@ -36,6 +45,8 @@ func main() {
 	fmt.Printf("reference: %d iterations, t0 = %.4g s simulated, %d nodes\n",
 		ref.Iterations, t0, nodes)
 
+	est := &estimator{a: a, b: b, nodes: nodes, phi: phi, trials: trials}
+
 	intervals := []int{5, 20, 50, 100}
 	for _, mtbfFactor := range []float64{0.8, 5, 50} {
 		mtbf := mtbfFactor * t0
@@ -50,7 +61,7 @@ func main() {
 		for _, strat := range []esrp.Strategy{esrp.StrategyESRP, esrp.StrategyIMCR} {
 			fmt.Printf("%-14v", strat)
 			for _, t := range intervals {
-				mean := expectedRuntime(a, b, nodes, strat, t, phi, mtbf, iterTime, trials)
+				mean := est.expectedRuntime(strat, t, mtbf, iterTime)
 				fmt.Printf("  %8.2f%%", 100*(mean-t0)/t0)
 			}
 			fmt.Println()
@@ -70,6 +81,15 @@ func main() {
 		}
 	}
 
+	fmt.Printf("\nreplay engine: %d draws costed by %d recorded solves (%.2fs) + %d re-costs (%.0fms)\n",
+		est.draws, est.records, est.recordSec(), est.recosts, 1e3*est.recostSec())
+	if est.recosts > 0 && est.recostSec() > 0 {
+		fmt.Printf("per-draw speedup: full solve %.1fms vs re-cost %.2fms — %.0f× faster\n",
+			1e3*est.recordSec()/float64(est.records),
+			1e3*est.recostSec()/float64(est.recosts),
+			(est.recordSec()/float64(est.records))/(est.recostSec()/float64(est.recosts)))
+	}
+
 	fmt.Println("\nExpected overhead over the failure-free reference, averaged across")
 	fmt.Println("seeded random failure times. Frequent failures favour small T (and")
 	fmt.Println("IMCR's cheap recovery); rare failures favour large T, where ESRP's")
@@ -87,37 +107,87 @@ func regime(f float64) string {
 	}
 }
 
-// expectedRuntime replays the solver against `trials` seeded failure draws
-// and returns the mean simulated total runtime.
-func expectedRuntime(a *esrp.CSR, b []float64, nodes int, strat esrp.Strategy, t, phi int, mtbf, iterTime float64, trials int) float64 {
+// estimator draws failure times and costs them on the replay engine: each
+// distinct (strategy, T, failure iteration) shape is recorded once, every
+// draw is a re-cost of the matching schedule.
+type estimator struct {
+	a      *esrp.CSR
+	b      []float64
+	nodes  int
+	phi    int
+	trials int
+
+	schedules map[string]*esrp.Schedule
+
+	draws, records, recosts int
+	recordNs, recostNs      int64
+}
+
+func (e *estimator) recordSec() float64 { return float64(e.recordNs) / 1e9 }
+func (e *estimator) recostSec() float64 { return float64(e.recostNs) / 1e9 }
+
+// expectedRuntime replays `trials` seeded failure draws against the
+// recorded schedules and returns the mean simulated total runtime.
+func (e *estimator) expectedRuntime(strat esrp.Strategy, t int, mtbf, iterTime float64) float64 {
+	if e.schedules == nil {
+		e.schedules = make(map[string]*esrp.Schedule)
+	}
 	rng := rand.New(rand.NewSource(42))
-	cache := map[int]float64{} // failure iteration -> simulated time
 	var sum float64
-	for trial := 0; trial < trials; trial++ {
+	for trial := 0; trial < e.trials; trial++ {
 		failTime := rng.ExpFloat64() * mtbf
 		failIter := int(failTime / iterTime)
-		key := failIter
-		if v, ok := cache[key]; ok {
-			sum += v
-			continue
+		key := fmt.Sprintf("%v/%d/%d", strat, t, failIter)
+		sched, ok := e.schedules[key]
+		if !ok {
+			sched = e.record(strat, t, failIter)
+			e.schedules[key] = sched
 		}
-		cfg := esrp.Config{
-			A: a, B: b, Nodes: nodes,
-			Strategy: strat, T: t, Phi: phi,
-		}
-		if strat == esrp.StrategyESRP && t <= 2 {
-			cfg.Strategy = esrp.StrategyESR
-		}
-		cfg.Failure = &esrp.FailureSpec{Iteration: failIter, Ranks: []int{nodes / 2}}
-		res, err := esrp.Solve(cfg)
+		start := time.Now()
+		rep, err := esrp.Recost(sched, esrp.DefaultCostModel())
+		e.recostNs += time.Since(start).Nanoseconds()
+		e.recosts++
 		if err != nil {
-			log.Fatal(err)
+			log.Fatalf("%v T=%d: re-cost: %v", strat, t, err)
 		}
-		if !res.Converged {
-			log.Fatalf("%v T=%d: did not converge", strat, t)
-		}
-		cache[key] = res.SimTime
-		sum += res.SimTime
+		sum += rep.SimTime
+		e.draws++
 	}
-	return sum / float64(trials)
+	return sum / float64(e.trials)
+}
+
+// record runs one solve with recording on and holds the smoke gate: the
+// schedule re-costed under the default machine must reproduce the solve's
+// figures bit for bit.
+func (e *estimator) record(strat esrp.Strategy, t, failIter int) *esrp.Schedule {
+	cfg := esrp.Config{
+		A: e.a, B: e.b, Nodes: e.nodes,
+		Strategy: strat, T: t, Phi: e.phi,
+	}
+	if strat == esrp.StrategyESRP && t <= 2 {
+		cfg.Strategy = esrp.StrategyESR
+	}
+	cfg.Failure = &esrp.FailureSpec{Iteration: failIter, Ranks: []int{e.nodes / 2}}
+	start := time.Now()
+	res, sched, err := esrp.RecordSchedule(cfg)
+	e.recordNs += time.Since(start).Nanoseconds()
+	e.records++
+	if err != nil {
+		log.Fatalf("%v T=%d: %v", strat, t, err)
+	}
+	if !res.Converged {
+		log.Fatalf("%v T=%d: did not converge", strat, t)
+	}
+	rep, err := esrp.Recost(sched, esrp.DefaultCostModel())
+	if err != nil {
+		log.Fatalf("%v T=%d: re-cost: %v", strat, t, err)
+	}
+	if rep.SimTime != res.SimTime || rep.RecoveryTime != res.RecoveryTime ||
+		rep.BytesSent != res.BytesSent || rep.MsgsSent != res.MsgsSent {
+		log.Fatalf("replay smoke test FAILED: %v T=%d fail@%d: re-cost (%.17g s, %d B, %d msgs) "+
+			"diverged from solve (%.17g s, %d B, %d msgs)",
+			strat, t, failIter, rep.SimTime, rep.BytesSent, rep.MsgsSent,
+			res.SimTime, res.BytesSent, res.MsgsSent)
+	}
+	return sched
 }

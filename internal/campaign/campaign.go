@@ -29,6 +29,7 @@ import (
 	"esrp/internal/hostobs"
 	"esrp/internal/obs"
 	"esrp/internal/precond"
+	"esrp/internal/replay"
 	"esrp/internal/sparse"
 )
 
@@ -37,6 +38,14 @@ type MatrixSpec struct {
 	Name string
 	A    *sparse.CSR
 	B    []float64 // nil = b for x* = ones
+}
+
+// MachinePoint is one machine model of a machine-parameter sweep
+// (Grid.Machines): a named cluster.CostModel the recorded schedules are
+// re-costed under.
+type MachinePoint struct {
+	Name  string            `json:"name"`
+	Model cluster.CostModel `json:"model"`
 }
 
 // Grid describes one campaign: the sweep axes, the failure process, and the
@@ -86,6 +95,20 @@ type Grid struct {
 	// of completed cells and the grid size — the hook for live progress
 	// meters. Called from worker goroutines.
 	Progress func(done, total int)
+
+	// Machines, when non-empty, adds a machine-parameter sweep axis on the
+	// replay engine: each cell's solve runs exactly once with schedule
+	// recording on (under CostModel — the recording model), and the schedule
+	// is re-costed under every machine point in O(events), filling
+	// Report.MachineCells at fixed (cell, machine) indices. The replays ride
+	// the affinity-sharded worker scheduler with their cell, so the report
+	// bytes stay independent of Workers.
+	Machines []MachinePoint
+
+	// OnCellSchedule, when set together with Machines, receives every
+	// successfully recorded cell's schedule (for artifact export). Called
+	// from worker goroutines; must be safe for concurrent use.
+	OnCellSchedule func(index int, c *Cell, s *replay.Schedule)
 
 	// HostObs, when set, records host-side execution telemetry for the run:
 	// per-worker wall-clock cell/steal timelines, shard layout and steal
@@ -153,6 +176,18 @@ type Aggregate struct {
 	ShrunkCells    int     `json:"shrunk_cells"` // cells that finished on fewer nodes
 }
 
+// MachineCell is one (cell, machine) point of a machine sweep: the recorded
+// cell's schedule re-costed under that machine model.
+type MachineCell struct {
+	Cell         int     `json:"cell"`    // index into Report.Cells
+	Machine      int     `json:"machine"` // index into Report.Machines
+	SimTime      float64 `json:"sim_time_s"`
+	RecoveryTime float64 `json:"recovery_time_s"`
+	BytesSent    int64   `json:"bytes_sent"`
+	MsgsSent     int64   `json:"msgs_sent"`
+	Err          string  `json:"error,omitempty"`
+}
+
 // Report is a campaign's full output.
 type Report struct {
 	Scenario   string      `json:"scenario"` // the failure process (per-cell seeds listed in Seeds)
@@ -160,6 +195,11 @@ type Report struct {
 	Spares     int         `json:"spares"`
 	Cells      []Cell      `json:"cells"`
 	Aggregates []Aggregate `json:"aggregates"`
+
+	// Machine sweep output (Grid.Machines): MachineCells[i*len(Machines)+m]
+	// is cell i replayed under machine m.
+	Machines     []MachinePoint `json:"machines,omitempty"`
+	MachineCells []MachineCell  `json:"machine_cells,omitempty"`
 }
 
 func (g Grid) withDefaults() (Grid, error) {
@@ -219,6 +259,14 @@ func (g Grid) withDefaults() (Grid, error) {
 	}
 	if g.Workers <= 0 {
 		g.Workers = runtime.GOMAXPROCS(0)
+	}
+	if len(g.Machines) > 0 {
+		g.Machines = append([]MachinePoint(nil), g.Machines...)
+		for i := range g.Machines {
+			if g.Machines[i].Name == "" {
+				g.Machines[i].Name = fmt.Sprintf("machine%d", i)
+			}
+		}
 	}
 	return g, nil
 }
@@ -332,6 +380,18 @@ func Run(g Grid) (*Report, error) {
 	// of re-allocating them. Progress is an atomic post-increment per
 	// finished cell, so callbacks see each value of 1..total exactly once
 	// (delivery order across workers is not a contract).
+	// Machine-sweep results live at fixed (cell, machine) indices, so the
+	// sweep output is as scheduling-independent as the cells themselves.
+	var machineCells []MachineCell
+	if nm := len(g.Machines); nm > 0 {
+		machineCells = make([]MachineCell, len(cells)*nm)
+		for i := range cells {
+			for mi := 0; mi < nm; mi++ {
+				machineCells[i*nm+mi] = MachineCell{Cell: i, Machine: mi}
+			}
+		}
+	}
+
 	sched := newSchedule(cells, g.Workers)
 	sched.rec = g.HostObs
 	if g.HostObs != nil {
@@ -360,7 +420,11 @@ func Run(g Grid) (*Report, error) {
 				c := &cells[i]
 				key := prepKeyOf(c)
 				t0 := wl.Clock()
-				g.runCell(i, c, matrices[c.Matrix], preps[key], ws)
+				var mcs []MachineCell
+				if nm := len(g.Machines); nm > 0 {
+					mcs = machineCells[i*nm : (i+1)*nm]
+				}
+				g.runCell(i, c, matrices[c.Matrix], preps[key], ws, mcs)
 				wl.Cell(t0, i, haveKey && key == lastKey)
 				lastKey, haveKey = key, true
 				if g.Progress != nil {
@@ -373,11 +437,13 @@ func Run(g Grid) (*Report, error) {
 	g.HostObs.SamplePhase("done")
 
 	return &Report{
-		Scenario:   g.Scenario.String(),
-		Seeds:      g.Seeds,
-		Spares:     g.Spares,
-		Cells:      cells,
-		Aggregates: aggregate(cells),
+		Scenario:     g.Scenario.String(),
+		Seeds:        g.Seeds,
+		Spares:       g.Spares,
+		Cells:        cells,
+		Aggregates:   aggregate(cells),
+		Machines:     g.Machines,
+		MachineCells: machineCells,
 	}, nil
 }
 
@@ -465,8 +531,10 @@ func (g Grid) prepareContexts(cells []Cell, matrices map[string]MatrixSpec) map[
 
 // runCell compiles the cell's scenario, solves it, and condenses the result
 // in place. index is the cell's position in the grid order (the trace
-// sampling key).
-func (g Grid) runCell(index int, c *Cell, m MatrixSpec, prep *core.Prepared, ws *core.Workspace) {
+// sampling key). mcs, when non-nil, is this cell's machine-sweep result
+// window (one entry per Grid.Machines point): the solve is recorded once and
+// each point's figures come from an O(events) replay of the schedule.
+func (g Grid) runCell(index int, c *Cell, m MatrixSpec, prep *core.Prepared, ws *core.Workspace, mcs []MachineCell) {
 	strat, err := core.ParseStrategy(c.Strategy)
 	if err != nil {
 		c.Err = err.Error()
@@ -518,10 +586,35 @@ func (g Grid) runCell(index int, c *Cell, m MatrixSpec, prep *core.Prepared, ws 
 	if traced {
 		cfg.Observe = &obs.Options{Trace: true}
 	}
+	var srec *replay.Recorder
+	if len(mcs) > 0 {
+		srec = replay.NewRecorder()
+		cfg.Record = srec
+	}
 	res, err := core.Solve(cfg)
 	if err != nil {
 		c.Err = err.Error()
+		for i := range mcs {
+			mcs[i].Err = err.Error()
+		}
 		return
+	}
+	if srec != nil {
+		sched := srec.Schedule()
+		for mi := range mcs {
+			rep, rerr := sched.Recost(replay.CostModel(g.Machines[mi].Model))
+			if rerr != nil {
+				mcs[mi].Err = rerr.Error()
+				continue
+			}
+			mcs[mi].SimTime = rep.SimTime
+			mcs[mi].RecoveryTime = rep.RecoveryTime
+			mcs[mi].BytesSent = rep.BytesSent
+			mcs[mi].MsgsSent = rep.MsgsSent
+		}
+		if g.OnCellSchedule != nil {
+			g.OnCellSchedule(index, c, sched)
+		}
 	}
 	c.Converged = res.Converged
 	c.Iterations = res.Iterations

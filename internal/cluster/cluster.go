@@ -52,6 +52,7 @@ import (
 
 	"esrp/internal/hostobs"
 	"esrp/internal/obs"
+	"esrp/internal/replay"
 )
 
 // CostModel holds the LogGP-style machine parameters of the simulated
@@ -197,6 +198,8 @@ type Comm struct {
 
 	rec *obs.Recorder // nil = no instrumentation (the default)
 
+	rep *replay.Recorder // nil = no schedule recording (the default)
+
 	hostStats *hostobs.BarrierStats // nil = no host telemetry (the default)
 
 	finalClocks []float64 // filled by Run
@@ -244,6 +247,28 @@ func (c *Comm) ObserveHost(st *hostobs.BarrierStats) {
 	c.arenaMu.Lock()
 	for _, a := range c.arenas {
 		a.bar.stats = st
+	}
+	c.arenaMu.Unlock()
+}
+
+// RecordSchedule attaches a schedule recorder: each node's goroutine then
+// appends its abstract event stream (compute, p2p, collectives) into its
+// own per-rank buffer, and every collective arena registers its view
+// membership, so the finished recording can be re-costed under any
+// CostModel (see internal/replay). Must be called before Run; a nil
+// recorder (or not calling RecordSchedule) keeps the zero-overhead
+// disabled path.
+func (c *Comm) RecordSchedule(rec *replay.Recorder) {
+	if rec == nil {
+		return
+	}
+	c.rep = rec
+	rec.Init(c.n)
+	// The root arena already exists (New creates it); retrofit it and any
+	// other pre-Run arenas. Arenas created later register in arenaFor.
+	c.arenaMu.Lock()
+	for _, a := range c.arenas {
+		a.repID = rec.RegisterView(a.ranks)
 	}
 	c.arenaMu.Unlock()
 }
@@ -296,6 +321,12 @@ func (c *Comm) arenaFor(ranks []int) *arena {
 	a, ok := c.arenas[string(key)]
 	if !ok {
 		a = newArena(len(ranks), c.hostStats)
+		a.ranks = append([]int(nil), ranks...)
+		if c.rep != nil {
+			// Assigned inside the critical section, so every member that
+			// looks the arena up afterwards sees the id.
+			a.repID = c.rep.RegisterView(a.ranks)
+		}
 		select {
 		case <-c.abort: // run already failed: new arenas are born aborted
 			a.abortAll()
@@ -329,7 +360,7 @@ func (c *Comm) Run(body func(nd *Node)) error {
 				comm:  c,
 				view:  c.rootView,
 				g:     g,
-				state: &nodeState{trace: c.rec.Rank(g)},
+				state: &nodeState{trace: c.rec.Rank(g), sched: c.rep.Rank(g)},
 			}
 			body(nd)
 			c.finalClocks[g] = nd.state.clock
@@ -398,6 +429,9 @@ type arena struct {
 	slots  [2][][]float64 // per-bank, per-member contribution scratch (owner-written)
 	clocks [2][]float64   // per-bank, per-member simulated clock at entry
 
+	ranks []int // global members, ascending (the canonical arena key)
+	repID int32 // replay view id (meaningful only while recording)
+
 	bar *barrier
 }
 
@@ -441,7 +475,8 @@ type nodeState struct {
 	flops     float64
 	bytesSent int64
 	msgsSent  int64
-	trace     *obs.Rank // nil unless Comm.Observe attached a recorder
+	trace     *obs.Rank    // nil unless Comm.Observe attached a recorder
+	sched     *replay.Rank // nil unless Comm.RecordSchedule attached one
 }
 
 // Node is one simulated cluster node's handle, bound to a communicator view.
@@ -478,6 +513,7 @@ func (nd *Node) AddClock(dt float64) {
 		panic("cluster: negative clock advance")
 	}
 	nd.state.clock += dt
+	nd.state.sched.ClockAdd(dt)
 }
 
 // SyncClock raises the simulated clock to at least t.
@@ -485,12 +521,14 @@ func (nd *Node) SyncClock(t float64) {
 	if t > nd.state.clock {
 		nd.state.clock = t
 	}
+	nd.state.sched.ClockSync(t)
 }
 
 // Compute advances the clock by flops·FlopTime and accounts the flops.
 func (nd *Node) Compute(flops float64) {
 	nd.state.flops += flops
 	nd.state.clock += flops * nd.comm.model.FlopTime
+	nd.state.sched.Compute(flops)
 }
 
 // Flops returns the total flops accounted on this node.
@@ -507,6 +545,12 @@ func (nd *Node) MsgsSent() int64 { return nd.state.msgsSent }
 // attached, which every obs.Rank method tolerates, so callers instrument
 // unconditionally. Shared across Sub handles (it lives on nodeState).
 func (nd *Node) Trace() *obs.Rank { return nd.state.trace }
+
+// Sched returns the node's replay event stream — nil when no schedule
+// recorder is attached, which every replay.Rank method tolerates, so the
+// core layer marks its recovery sections unconditionally. Shared across
+// Sub handles (it lives on nodeState).
+func (nd *Node) Sched() *replay.Rank { return nd.state.sched }
 
 // account books msgs messages of bytes total payload against the node and
 // the machine-wide counters (the modeled traffic of a collective that the
@@ -563,6 +607,7 @@ func (nd *Node) send(dst, tag int, floats []float64, ints []int, clocked bool) {
 		m.sendTime = nd.state.clock
 	}
 	nd.account(1, int64(m.bytes()))
+	nd.state.sched.Send(gdst, int64(m.bytes()))
 	box := ep.box(nd.g)
 	select {
 	case box <- m: // fast path: box has room (it almost always does)
@@ -601,6 +646,7 @@ func (nd *Node) recv(src, tag int, clocked bool) message {
 			nd.state.clock = arrival
 		}
 	}
+	nd.state.sched.Recv(gsrc)
 	return m
 }
 
@@ -760,6 +806,13 @@ func (nd *Node) Allreduce(op Op, x []float64) {
 	} else {
 		nd.account(1, payloadBytes)
 	}
+	if s := nd.state.sched; s != nil {
+		msgs, bytes := int64(1), payloadBytes
+		if me == 0 {
+			msgs, bytes = int64(n-1), int64(n-1)*payloadBytes
+		}
+		s.Collective(replay.KindAllreduce, nd.view.ar.repID, int64(8*len(x)), msgs, bytes, false)
+	}
 }
 
 // AllreduceScalar reduces a single value.
@@ -800,6 +853,13 @@ func (nd *Node) Bcast(root int, data []float64) {
 		nd.state.clock = math.Max(a.clocks[bank][root], nd.state.clock) + cost
 	}
 	nd.state.trace.Span(obs.KindBcast, t0, nd.state.clock)
+	if s := nd.state.sched; s != nil {
+		var msgs, bytes int64
+		if me == root {
+			msgs, bytes = int64(n-1), int64(n-1)*int64(8*(len(data)+1))
+		}
+		s.Collective(replay.KindBcast, a.repID, int64(8*len(data)), msgs, bytes, me == root)
+	}
 }
 
 // Gather collects each member's data slice at view-rank root. On root it
@@ -815,6 +875,17 @@ func (nd *Node) Gather(root int, data []float64) [][]float64 {
 	copy(slot, data)
 	t0 := nd.state.clock
 	a.clocks[bank][me] = nd.state.clock
+	if s := nd.state.sched; s != nil {
+		// Recorded at entry (before the non-root overhead advance): the
+		// replay publishes the entry clock, then applies the same
+		// per-role arithmetic. Bytes is this member's payload — the root
+		// replay sums the non-root payloads for its serialization term.
+		var msgs, bytes int64
+		if me != root {
+			msgs, bytes = 1, int64(8*(len(data)+1))
+		}
+		s.Collective(replay.KindGather, a.repID, int64(8*len(data)), msgs, bytes, me == root)
+	}
 	if me != root {
 		// The sender's clock advances only by its own send overhead; gather
 		// is not synchronizing for non-roots on the simulated clock (the

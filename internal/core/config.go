@@ -17,6 +17,7 @@ import (
 	"esrp/internal/hostobs"
 	"esrp/internal/obs"
 	"esrp/internal/precond"
+	"esrp/internal/replay"
 	"esrp/internal/sparse"
 )
 
@@ -222,6 +223,16 @@ type Config struct {
 	// on, the recorded data is itself deterministic (simulated timestamps,
 	// single-writer per-rank buffers).
 	Observe *obs.Options
+
+	// Record captures the solve's abstract event schedule (internal/replay):
+	// each rank's program-order stream of compute, point-to-point and
+	// collective events plus the recovery-section markers, so the finished
+	// schedule can be re-costed under any machine model in O(events)
+	// without re-running the solve. One recorder records one solve. Nil
+	// (the default) records nothing and keeps the zero-overhead hot path —
+	// trajectories, the simulated clock and the zero-allocation guarantees
+	// are bit-identical with recording off.
+	Record *replay.Recorder
 
 	// HostStats enables host-side barrier telemetry (internal/hostobs):
 	// per-member wall-clock wait histograms split by spin/yield/park

@@ -37,6 +37,7 @@ func (run *nodeRun) recoverNoSpare(j int, failed []int) (int, string) {
 		return j, RecoveryShrink
 	}
 	t0 := run.nd.Clock()
+	run.nd.Sched().RecStart()
 
 	survivors := make([]int, 0, n-len(failed))
 	for s := 0; s < n; s++ {
@@ -75,6 +76,7 @@ func (run *nodeRun) recoverNoSpare(j int, failed []int) (int, string) {
 		run.shrinkTo(sub, survivors, failed, adopter, flo, fhi, nil, nil, nil, nil, jrec, betaStar)
 		run.initFromX()
 		run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
+		run.nd.Sched().RecEnd()
 		return j, RecoveryShrink
 	}
 
@@ -147,6 +149,7 @@ func (run *nodeRun) recoverNoSpare(j int, failed []int) (int, string) {
 			run.shrinkTo(sub, survivors, failed, adopter, flo, fhi, nil, nil, nil, nil, jrec, betaStar)
 			run.initFromX()
 			run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
+			run.nd.Sched().RecEnd()
 			// Mirror the recoverESR vote path: ESRP survivors already hold
 			// the starred state of jrec, so resume there and count the
 			// discarded work; ESR never rolled back.
@@ -211,6 +214,7 @@ func (run *nodeRun) recoverNoSpare(j int, failed []int) (int, string) {
 	run.shrinkTo(sub, survivors, failed, adopter, flo, fhi, xIf, rIf, zIf, pCur, jrec, betaStar)
 	run.restoreScalars(betaStar, st)
 	run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
+	run.nd.Sched().RecEnd()
 	return jrec, RecoveryShrink
 }
 

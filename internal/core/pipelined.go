@@ -65,6 +65,7 @@ func SolvePipelined(cfg Config) (*Result, error) {
 	comm := cluster.New(cfg.Nodes, model)
 	rec := newRecorder(&cfg)
 	comm.Observe(rec)
+	comm.RecordSchedule(cfg.Record) // nil = recording off
 	if cfg.HostStats != nil {
 		comm.ObserveHost(cfg.HostStats)
 	}
@@ -265,6 +266,7 @@ func (run *pipeRun) main(result *Result) {
 
 	run.tr.SetIter(-1)
 	drift := run.pipeDrift(relres)
+	run.nd.Sched().RTFinal() // this rank's recoveryTime enters the reduction
 	recovery := run.nd.AllreduceScalar(cluster.OpMax, run.recoveryTime)
 	xParts := run.nd.Gather(0, run.x)
 	if run.nd.Rank() == 0 {
@@ -390,19 +392,25 @@ func (run *pipeRun) pipeLose() {
 // exists, local restart otherwise.
 func (run *pipeRun) pipeRecover(j int, failed []int) (int, string) {
 	tEnv := run.nd.Clock()
+	run.nd.Sched().EnvStart(j)
 	run.tr.SetPhase(obs.PhaseRecovery)
 	defer func() {
 		run.tr.Envelope(j, tEnv, run.nd.Clock())
+		run.nd.Sched().EnvEnd()
 		run.tr.SetPhase(obs.PhaseSteady)
 	}()
 	if dt := run.cfg.DetectionTime; dt > 0 {
 		tDet := run.nd.Clock()
 		run.nd.AddClock(dt) // failure detection + communicator repair
 		run.tr.Span(obs.KindDetect, tDet, run.nd.Clock())
-		defer func() { run.recoveryTime += dt }()
+		defer func() {
+			run.recoveryTime += dt
+			run.nd.Sched().RecCharge(dt)
+		}()
 	}
 	amFailed := run.amFailed(failed)
 	t0 := run.nd.Clock()
+	run.nd.Sched().RecStart()
 	if amFailed {
 		run.pipeLose()
 	}
@@ -419,6 +427,7 @@ func (run *pipeRun) pipeRecover(j int, failed []int) (int, string) {
 	if !recoverable {
 		run.restart()
 		run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
+		run.nd.Sched().RecEnd()
 		return j, RecoveryRestart
 	}
 
@@ -481,5 +490,6 @@ func (run *pipeRun) pipeRecover(j int, failed []int) (int, string) {
 		run.bNormGlobal = 1
 	}
 	run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
+	run.nd.Sched().RecEnd()
 	return jrec, RecoverySpare
 }

@@ -291,6 +291,7 @@ func (run *nodeRun) handleFailure(j int, ev *FailureSpec) (int, string) {
 	// phase; the KindRecovery envelope recorded at the end encloses them
 	// for the per-event breakdown.
 	tEnv := run.nd.Clock()
+	run.nd.Sched().EnvStart(j)
 	run.tr.SetPhase(obs.PhaseRecovery)
 	if dt := run.cfg.DetectionTime; dt > 0 {
 		t0 := run.nd.Clock()
@@ -322,7 +323,9 @@ func (run *nodeRun) handleFailure(j int, ev *FailureSpec) (int, string) {
 	// The protocols measure their own elapsed time from after the detection
 	// charge, so the detection cost is added on top here.
 	run.recoveryTime += run.cfg.DetectionTime
+	run.nd.Sched().RecCharge(run.cfg.DetectionTime)
 	run.tr.Envelope(j, tEnv, run.nd.Clock())
+	run.nd.Sched().EnvEnd()
 	run.tr.SetPhase(obs.PhaseSteady)
 	if !run.retired {
 		run.logEvent(ev, failed, mode, jrec, j)
@@ -349,11 +352,13 @@ func (run *nodeRun) logEvent(ev *FailureSpec, failed []int, mode string, jrec, j
 // conjugacy. This is the expensive scenario motivating ESR.
 func (run *nodeRun) localRestart(j int, failed []int) int {
 	t0 := run.nd.Clock()
+	run.nd.Sched().RecStart()
 	if run.amFailed(failed) {
 		run.loseDynamicState()
 	}
 	run.initFromX()
 	run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
+	run.nd.Sched().RecEnd()
 	return j
 }
 
@@ -389,6 +394,7 @@ func (run *nodeRun) recoverESR(j int, failed []int) (int, string) {
 	flo, fhi := run.part.RangeOfParts(failed[0], failed[len(failed)-1]+1)
 	amFailed := run.amFailed(failed)
 	t0 := run.nd.Clock()
+	run.nd.Sched().RecStart()
 
 	if amFailed {
 		run.loseDynamicState()
@@ -429,6 +435,7 @@ func (run *nodeRun) recoverESR(j int, failed []int) (int, string) {
 		}
 		run.initFromX()
 		run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
+		run.nd.Sched().RecEnd()
 		return j, RecoveryRestart
 	}
 
@@ -498,6 +505,7 @@ func (run *nodeRun) recoverESR(j int, failed []int) (int, string) {
 		if run.nd.AllreduceScalar(cluster.OpMin, okLoc) == 0 {
 			run.initFromX()
 			run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
+			run.nd.Sched().RecEnd()
 			// ESRP survivors were already rolled back to the starred state
 			// of iteration jrec before the vote, so resuming there keeps
 			// the counter consistent with the state and the discarded work
@@ -589,6 +597,7 @@ func (run *nodeRun) recoverESR(j int, failed []int) (int, string) {
 
 	run.restoreScalars(betaStar, st)
 	run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
+	run.nd.Sched().RecEnd()
 	return jrec, RecoverySpare
 }
 
@@ -658,6 +667,7 @@ func (run *nodeRun) recoverIMCR(j int, failed []int) (int, string) {
 	n := run.nd.Size()
 	amFailed := run.amFailed(failed)
 	t0 := run.nd.Clock()
+	run.nd.Sched().RecStart()
 
 	if amFailed {
 		run.loseDynamicState()
@@ -674,6 +684,7 @@ func (run *nodeRun) recoverIMCR(j int, failed []int) (int, string) {
 	if !recoverable {
 		run.initFromX()
 		run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
+		run.nd.Sched().RecEnd()
 		return j, RecoveryRestart
 	}
 
@@ -743,5 +754,6 @@ func (run *nodeRun) recoverIMCR(j int, failed []int) (int, string) {
 	}
 	run.restoreScalars(0, nil)
 	run.recoveryTime = math.Max(run.recoveryTime, run.nd.Clock()-t0)
+	run.nd.Sched().RecEnd()
 	return jrec, RecoverySpare
 }

@@ -40,6 +40,7 @@ func Solve(cfg Config) (*Result, error) {
 	comm := cluster.New(cfg.Nodes, model)
 	rec := newRecorder(&cfg)
 	comm.Observe(rec)
+	comm.RecordSchedule(cfg.Record) // nil = recording off
 	if cfg.HostStats != nil {
 		comm.ObserveHost(cfg.HostStats)
 	}
@@ -461,6 +462,7 @@ func (run *nodeRun) main(result *Result) {
 
 	run.tr.SetIter(-1) // epilogue: drift check and the final gather
 	drift := run.residualDrift(relres)
+	run.nd.Sched().RTFinal() // this rank's recoveryTime enters the reduction
 	recovery := run.nd.AllreduceScalar(cluster.OpMax, run.recoveryTime)
 
 	xParts := run.nd.Gather(0, run.x)

@@ -1,0 +1,363 @@
+package replay
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the re-coster: it replays a Schedule's per-rank event
+// streams under a CostModel, running the identical clock arithmetic the
+// cluster ran when the schedule was recorded — delivery = sendTime +
+// Latency + bytes·BytePeriod with a receiver max-merge at the matched
+// receive, ⌈log₂ n⌉·(Latency + Overhead + bytes·BytePeriod) collective
+// rounds over the max of the members' entry clocks, per-message sender
+// Overhead — plus the recovery-time bookkeeping internal/core marks into
+// the stream. No numeric solver state exists here at all; a replay is pure
+// O(events) float arithmetic.
+//
+// Scheduling: ranks are swept round-robin, each executing events until it
+// blocks (a receive whose matching send has not been replayed yet, or a
+// collective missing members). Every sweep retires all newly unblocked
+// work, so the total cost is O(events) amortized — the sweep count is
+// bounded by the schedule's synchronization depth, and a blocked rank's
+// re-check is O(1). A recorded schedule cannot deadlock (replay blocking
+// is a subset of the original run's blocking); the no-progress check below
+// guards against truncated or hand-edited schedules.
+
+// sendRec is one in-flight point-to-point message: payload size and the
+// sender's clock after the send overhead.
+type sendRec struct {
+	bytes    int64
+	sendTime float64
+}
+
+// pairQueue is the per-(src,dst) FIFO box of the replay machine.
+type pairQueue struct {
+	q    []sendRec
+	head int
+}
+
+// collInst is one collective instance shared by a view's members,
+// identified by (view, per-member completion count on that view).
+type collInst struct {
+	entries  []float64 // per local rank: clock at entry
+	bytes    []int64   // per local rank: gather payload bytes
+	present  []bool
+	arrived  int
+	departed int
+	rootSeen bool
+	rootIn   float64 // root's entry clock (bcast)
+}
+
+// rankState is one rank's replay cursor.
+type rankState struct {
+	pc        int
+	clock     float64
+	rt        float64 // recoveryTime accumulator
+	t0        float64 // last RecStart clock
+	envIter   int32
+	envStart  float64
+	rtFinal   bool
+	published bool // current collective event already contributed
+	envs      []EnvSpan
+}
+
+// machine is the full replay state for one Recost call.
+type machine struct {
+	s     *Schedule
+	m     CostModel
+	rs    []rankState
+	pairs map[int64]*pairQueue
+	insts map[int64]*collInst
+	seq   [][]int32       // per rank, per view: collectives completed
+	pos   []map[int32]int // per view: global rank → local rank
+	acctB int64
+	acctM int64
+}
+
+// Recost replays the schedule under machine model m. Safe for concurrent
+// calls on one Schedule (the schedule is read-only; all replay state is
+// local to the call).
+func (s *Schedule) Recost(m CostModel) (*Replayed, error) {
+	mach := &machine{
+		s:     s,
+		m:     m,
+		rs:    make([]rankState, s.Nodes),
+		pairs: make(map[int64]*pairQueue),
+		insts: make(map[int64]*collInst),
+		seq:   make([][]int32, s.Nodes),
+		pos:   make([]map[int32]int, len(s.Views)),
+	}
+	for g := range mach.seq {
+		mach.seq[g] = make([]int32, len(s.Views))
+	}
+	for v, members := range s.Views {
+		mach.pos[v] = make(map[int32]int, len(members))
+		for i, g := range members {
+			mach.pos[v][int32(g)] = i
+		}
+	}
+
+	for {
+		progress, done := false, true
+		for g := range mach.rs {
+			adv, err := mach.runRank(g)
+			if err != nil {
+				return nil, err
+			}
+			if adv {
+				progress = true
+			}
+			if mach.rs[g].pc < len(s.Events[g]) {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if !progress {
+			return nil, mach.deadlockErr()
+		}
+	}
+
+	out := &Replayed{
+		Clocks:    make([]float64, s.Nodes),
+		Envelopes: make([][]EnvSpan, s.Nodes),
+		BytesSent: mach.acctB,
+		MsgsSent:  mach.acctM,
+		Events:    s.NumEvents(),
+	}
+	for g := range mach.rs {
+		out.Clocks[g] = mach.rs[g].clock
+		out.Envelopes[g] = mach.rs[g].envs
+		if mach.rs[g].clock > out.SimTime {
+			out.SimTime = mach.rs[g].clock
+		}
+	}
+	// The final recovery time is the OpMax allreduce over the surviving
+	// view: the fold starts from the lowest-ranked participant and applies
+	// math.Max in ascending rank order, mirroring the arena reduction.
+	first := true
+	for g := range mach.rs {
+		if !mach.rs[g].rtFinal {
+			continue
+		}
+		if first {
+			out.RecoveryTime = mach.rs[g].rt
+			first = false
+		} else {
+			out.RecoveryTime = math.Max(out.RecoveryTime, mach.rs[g].rt)
+		}
+	}
+	return out, nil
+}
+
+// runRank executes rank g's events until it blocks or finishes, reporting
+// whether it made any progress.
+func (mc *machine) runRank(g int) (bool, error) {
+	st := &mc.rs[g]
+	evs := mc.s.Events[g]
+	advanced := false
+	for st.pc < len(evs) {
+		ok, err := mc.step(g, st, &evs[st.pc])
+		if err != nil {
+			return advanced, fmt.Errorf("replay: rank %d event %d (%v): %w", g, st.pc, evs[st.pc].Kind, err)
+		}
+		if !ok {
+			return advanced, nil
+		}
+		st.pc++
+		advanced = true
+	}
+	return advanced, nil
+}
+
+// step executes one event; false means blocked (retry later).
+func (mc *machine) step(g int, st *rankState, e *Event) (bool, error) {
+	m := mc.m
+	switch e.Kind {
+	case KindCompute:
+		st.clock += e.Val * m.FlopTime
+	case KindClockAdd:
+		st.clock += e.Val
+	case KindClockSync:
+		if e.Val > st.clock {
+			st.clock = e.Val
+		}
+	case KindSend:
+		st.clock += m.Overhead
+		q := mc.pair(g, int(e.Peer))
+		q.q = append(q.q, sendRec{bytes: e.Bytes, sendTime: st.clock})
+		mc.account(st, e)
+	case KindRecv:
+		q := mc.pair(int(e.Peer), g)
+		if q.head >= len(q.q) {
+			return false, nil
+		}
+		sr := q.q[q.head]
+		q.head++
+		if q.head == len(q.q) { // drained: recycle the slice
+			q.q, q.head = q.q[:0], 0
+		}
+		arrival := sr.sendTime + m.Latency + float64(sr.bytes)*m.BytePeriod
+		if arrival > st.clock {
+			st.clock = arrival
+		}
+	case KindAllreduce, KindBcast, KindGather:
+		return mc.stepCollective(g, st, e)
+	case KindRecStart:
+		st.t0 = st.clock
+	case KindRecEnd:
+		st.rt = math.Max(st.rt, st.clock-st.t0)
+	case KindRecCharge:
+		st.rt += e.Val
+	case KindEnvStart:
+		st.envIter, st.envStart = e.Peer, st.clock
+	case KindEnvEnd:
+		if st.clock > st.envStart { // obs.Envelope drops empty spans
+			st.envs = append(st.envs, EnvSpan{Iter: int(st.envIter), Start: st.envStart, End: st.clock})
+		}
+	case KindRTFinal:
+		st.rtFinal = true
+	default:
+		return false, fmt.Errorf("unknown event kind %d", e.Kind)
+	}
+	return true, nil
+}
+
+// stepCollective replays one member's half of a collective.
+func (mc *machine) stepCollective(g int, st *rankState, e *Event) (bool, error) {
+	v := int(e.View)
+	if v < 0 || v >= len(mc.s.Views) {
+		return false, fmt.Errorf("view %d out of range", v)
+	}
+	members := mc.s.Views[v]
+	n := len(members)
+	me, ok := mc.pos[v][int32(g)]
+	if !ok {
+		return false, fmt.Errorf("rank not a member of view %d %v", v, members)
+	}
+	key := int64(v)<<32 | int64(mc.seq[g][v])
+	inst := mc.insts[key]
+	if inst == nil {
+		inst = &collInst{
+			entries: make([]float64, n),
+			bytes:   make([]int64, n),
+			present: make([]bool, n),
+		}
+		mc.insts[key] = inst
+	}
+
+	complete := func() {
+		st.published = false
+		mc.seq[g][v]++
+		inst.departed++
+		if inst.departed == n {
+			delete(mc.insts, key)
+		}
+	}
+
+	switch e.Kind {
+	case KindAllreduce:
+		if !st.published {
+			inst.entries[me], inst.present[me] = st.clock, true
+			inst.arrived++
+			st.published = true
+		}
+		if inst.arrived < n {
+			return false, nil
+		}
+		tmax := inst.entries[0]
+		for r := 1; r < n; r++ {
+			if inst.entries[r] > tmax {
+				tmax = inst.entries[r]
+			}
+		}
+		st.clock = tmax + mc.m.collectiveCost(n, e.Bytes)
+		mc.account(st, e)
+		complete()
+
+	case KindBcast:
+		if e.Root {
+			inst.rootSeen, inst.rootIn = true, st.clock
+			cost := mc.m.collectiveCost(n, e.Bytes)
+			st.clock += cost
+			mc.account(st, e)
+			complete()
+			return true, nil
+		}
+		if !inst.rootSeen {
+			return false, nil
+		}
+		st.clock = math.Max(inst.rootIn, st.clock) + mc.m.collectiveCost(n, e.Bytes)
+		mc.account(st, e)
+		complete()
+
+	case KindGather:
+		if !st.published {
+			inst.entries[me], inst.bytes[me], inst.present[me] = st.clock, e.Bytes, true
+			inst.arrived++
+			st.published = true
+			if e.Root {
+				inst.rootSeen = true
+			}
+		}
+		if !e.Root {
+			// Non-roots only pay their send overhead; gather does not
+			// synchronize them on the simulated clock.
+			mc.account(st, e)
+			st.clock += mc.m.Overhead
+			complete()
+			return true, nil
+		}
+		if inst.arrived < n {
+			return false, nil
+		}
+		tmax := st.clock
+		totalBytes := 0
+		for r := 0; r < n; r++ {
+			if r == me {
+				continue
+			}
+			if inst.entries[r] > tmax {
+				tmax = inst.entries[r]
+			}
+			totalBytes += int(inst.bytes[r])
+		}
+		st.clock = tmax + mc.m.Latency*math.Ceil(math.Log2(float64(max(n, 2)))) +
+			float64(totalBytes)*mc.m.BytePeriod
+		mc.account(st, e)
+		complete()
+	}
+	return true, nil
+}
+
+// pair returns the (src,dst) FIFO, creating it on first use.
+func (mc *machine) pair(src, dst int) *pairQueue {
+	key := int64(src)*int64(mc.s.Nodes) + int64(dst)
+	q := mc.pairs[key]
+	if q == nil {
+		q = &pairQueue{}
+		mc.pairs[key] = q
+	}
+	return q
+}
+
+// account books one event's modeled traffic.
+func (mc *machine) account(st *rankState, e *Event) {
+	mc.acctM += e.AcctMsgs
+	mc.acctB += e.AcctBytes
+}
+
+// deadlockErr describes where every unfinished rank is stuck — reached only
+// for schedules that were truncated or edited after recording.
+func (mc *machine) deadlockErr() error {
+	msg := "replay: no progress (truncated or inconsistent schedule); stuck:"
+	for g := range mc.rs {
+		if mc.rs[g].pc < len(mc.s.Events[g]) {
+			e := mc.s.Events[g][mc.rs[g].pc]
+			msg += fmt.Sprintf(" rank %d at event %d (%v)", g, mc.rs[g].pc, e.Kind)
+		}
+	}
+	return fmt.Errorf("%s", msg)
+}

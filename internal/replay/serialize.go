@@ -1,0 +1,231 @@
+package replay
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Serialization of schedules: a compact self-describing binary format for
+// resumable sweeps and artifacts, and plain JSON for diffing and ad-hoc
+// tooling. Both round-trip bit-exactly (floats travel as their IEEE-754
+// bit patterns), so a deserialized schedule re-costs to the identical
+// bytes the in-memory one does.
+//
+// Binary layout (all ints unsigned varints unless noted):
+//
+//	magic "ESRPRPL1" (8 bytes)
+//	nodes, nviews
+//	per view:  nmembers, then member ranks delta-encoded (rank − prev − 1
+//	           for the tail, absolute for the first; views are ascending)
+//	per rank:  nevents, then per event: kind byte followed by the fields
+//	           that kind defines (see decodeEvent); float64s are fixed
+//	           8-byte little-endian bit patterns
+const binaryMagic = "ESRPRPL1"
+
+// WriteBinary encodes the schedule in the compact binary format.
+func (s *Schedule) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		bw.Write(scratch[:n])
+	}
+	putFloat := func(f float64) {
+		binary.LittleEndian.PutUint64(scratch[:8], math.Float64bits(f))
+		bw.Write(scratch[:8])
+	}
+	putUvarint(uint64(s.Nodes))
+	putUvarint(uint64(len(s.Views)))
+	for _, members := range s.Views {
+		putUvarint(uint64(len(members)))
+		prev := -1
+		for _, g := range members {
+			putUvarint(uint64(g - prev - 1))
+			prev = g
+		}
+	}
+	for _, evs := range s.Events {
+		putUvarint(uint64(len(evs)))
+		for i := range evs {
+			e := &evs[i]
+			bw.WriteByte(byte(e.Kind))
+			switch e.Kind {
+			case KindCompute, KindClockAdd, KindClockSync, KindRecCharge:
+				putFloat(e.Val)
+			case KindSend:
+				putUvarint(uint64(e.Peer))
+				putUvarint(uint64(e.Bytes))
+			case KindRecv:
+				putUvarint(uint64(e.Peer))
+			case KindAllreduce, KindBcast, KindGather:
+				root := byte(0)
+				if e.Root {
+					root = 1
+				}
+				bw.WriteByte(root)
+				putUvarint(uint64(e.View))
+				putUvarint(uint64(e.Bytes))
+				putUvarint(uint64(e.AcctMsgs))
+				putUvarint(uint64(e.AcctBytes))
+			case KindEnvStart:
+				putUvarint(uint64(e.Peer))
+			case KindRecStart, KindRecEnd, KindEnvEnd, KindRTFinal:
+				// kind byte only
+			default:
+				return fmt.Errorf("replay: cannot encode event kind %d", e.Kind)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a schedule written by WriteBinary.
+func ReadBinary(r io.Reader) (*Schedule, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("replay: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("replay: bad magic %q (not a schedule file)", magic)
+	}
+	getUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
+	getFloat := func() (float64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+	}
+
+	nodes, err := getUvarint()
+	if err != nil {
+		return nil, err
+	}
+	const sane = 1 << 24 // corrupt-length guard for preallocation
+	if nodes == 0 || nodes > sane {
+		return nil, fmt.Errorf("replay: implausible node count %d", nodes)
+	}
+	nviews, err := getUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nviews > sane {
+		return nil, fmt.Errorf("replay: implausible view count %d", nviews)
+	}
+	s := &Schedule{Nodes: int(nodes), Views: make([][]int, nviews), Events: make([][]Event, nodes)}
+	for v := range s.Views {
+		nm, err := getUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nm > nodes {
+			return nil, fmt.Errorf("replay: view %d has %d members > %d nodes", v, nm, nodes)
+		}
+		members := make([]int, nm)
+		prev := -1
+		for i := range members {
+			d, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			members[i] = prev + 1 + int(d)
+			prev = members[i]
+		}
+		s.Views[v] = members
+	}
+	for g := range s.Events {
+		ne, err := getUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if ne > 1<<32 {
+			return nil, fmt.Errorf("replay: implausible event count %d", ne)
+		}
+		evs := make([]Event, ne)
+		for i := range evs {
+			kb, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			e := &evs[i]
+			e.Kind = Kind(kb)
+			switch e.Kind {
+			case KindCompute, KindClockAdd, KindClockSync, KindRecCharge:
+				if e.Val, err = getFloat(); err != nil {
+					return nil, err
+				}
+			case KindSend:
+				var p, b uint64
+				if p, err = getUvarint(); err != nil {
+					return nil, err
+				}
+				if b, err = getUvarint(); err != nil {
+					return nil, err
+				}
+				e.Peer, e.Bytes = int32(p), int64(b)
+				e.AcctMsgs, e.AcctBytes = 1, e.Bytes
+			case KindRecv:
+				var p uint64
+				if p, err = getUvarint(); err != nil {
+					return nil, err
+				}
+				e.Peer = int32(p)
+			case KindAllreduce, KindBcast, KindGather:
+				rb, err := br.ReadByte()
+				if err != nil {
+					return nil, err
+				}
+				e.Root = rb != 0
+				var v, b, am, ab uint64
+				if v, err = getUvarint(); err != nil {
+					return nil, err
+				}
+				if b, err = getUvarint(); err != nil {
+					return nil, err
+				}
+				if am, err = getUvarint(); err != nil {
+					return nil, err
+				}
+				if ab, err = getUvarint(); err != nil {
+					return nil, err
+				}
+				e.View, e.Bytes = int32(v), int64(b)
+				e.AcctMsgs, e.AcctBytes = int64(am), int64(ab)
+			case KindEnvStart:
+				var p uint64
+				if p, err = getUvarint(); err != nil {
+					return nil, err
+				}
+				e.Peer = int32(p)
+			case KindRecStart, KindRecEnd, KindEnvEnd, KindRTFinal:
+			default:
+				return nil, fmt.Errorf("replay: rank %d event %d: unknown kind %d", g, i, kb)
+			}
+		}
+		s.Events[g] = evs
+	}
+	return s, nil
+}
+
+// WriteJSON emits the schedule as JSON (large but diffable; floats are
+// round-trip exact under Go's JSON shortest-representation encoding).
+func (s *Schedule) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(s)
+}
+
+// ReadJSON decodes a schedule written by WriteJSON.
+func ReadJSON(r io.Reader) (*Schedule, error) {
+	var s Schedule
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("replay: decoding JSON schedule: %w", err)
+	}
+	return &s, nil
+}

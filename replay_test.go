@@ -1,0 +1,351 @@
+package esrp_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"esrp"
+)
+
+// replayCase is one (strategy, failure timeline) shape of the bitwise
+// re-cost gate. Pipelined cases go through RecordSchedulePipelined.
+type replayCase struct {
+	name      string
+	pipelined bool
+	cfg       esrp.Config
+}
+
+func replayCases(t *testing.T) []replayCase {
+	t.Helper()
+	a := esrp.Poisson2D(32, 32)
+	b := esrp.RHSOnes(a.Rows)
+	base := func() esrp.Config {
+		return esrp.Config{A: a, B: b, Nodes: 4, Rtol: 1e-8, DetectionTime: 2e-5}
+	}
+	mk := func(name string, mut func(*esrp.Config)) replayCase {
+		cfg := base()
+		mut(&cfg)
+		return replayCase{name: name, cfg: cfg}
+	}
+	cases := []replayCase{
+		mk("none/failure-free", func(c *esrp.Config) { c.Strategy = esrp.StrategyNone }),
+		mk("none/restart", func(c *esrp.Config) {
+			c.Strategy = esrp.StrategyNone
+			c.Failure = &esrp.FailureSpec{Iteration: 12, Ranks: []int{2}}
+		}),
+		mk("esr/failure", func(c *esrp.Config) {
+			c.Strategy = esrp.StrategyESR
+			c.Phi = 1
+			c.Failure = &esrp.FailureSpec{Iteration: 12, Ranks: []int{1}}
+		}),
+		mk("esrp/multi-event", func(c *esrp.Config) {
+			c.Strategy = esrp.StrategyESRP
+			c.T, c.Phi = 8, 1
+			c.Failures = []esrp.FailureSpec{
+				{Iteration: 12, Ranks: []int{1}},
+				{Iteration: 30, Ranks: []int{3}},
+			}
+		}),
+		mk("imcr/failure", func(c *esrp.Config) {
+			c.Strategy = esrp.StrategyIMCR
+			c.T, c.Phi = 8, 1
+			c.Failure = &esrp.FailureSpec{Iteration: 12, Ranks: []int{2}}
+		}),
+		mk("nospare/shrink", func(c *esrp.Config) {
+			c.Strategy = esrp.StrategyESRP
+			c.T, c.Phi = 8, 1
+			c.NoSpareNodes = true
+			c.Failure = &esrp.FailureSpec{Iteration: 12, Ranks: []int{1}}
+		}),
+		mk("spares-exhausted/multi-event", func(c *esrp.Config) {
+			c.Strategy = esrp.StrategyESRP
+			c.T, c.Phi = 8, 1
+			c.Spares = 1
+			c.Failures = []esrp.FailureSpec{
+				{Iteration: 12, Ranks: []int{1}}, // consumes the pool
+				{Iteration: 30, Ranks: []int{2}}, // falls back to the shrink
+			}
+		}),
+	}
+	pipeNone := base()
+	pipeNone.Strategy = esrp.StrategyNone
+	pipeNone.Failure = &esrp.FailureSpec{Iteration: 12, Ranks: []int{2}}
+	cases = append(cases, replayCase{name: "pipelined/none-restart", pipelined: true, cfg: pipeNone})
+	pipeIMCR := base()
+	pipeIMCR.Strategy = esrp.StrategyIMCR
+	pipeIMCR.T, pipeIMCR.Phi = 8, 1
+	pipeIMCR.Failure = &esrp.FailureSpec{Iteration: 12, Ranks: []int{1}}
+	cases = append(cases, replayCase{name: "pipelined/imcr", pipelined: true, cfg: pipeIMCR})
+	return cases
+}
+
+func record(t *testing.T, rc replayCase) (*esrp.Result, *esrp.Schedule) {
+	t.Helper()
+	var res *esrp.Result
+	var sched *esrp.Schedule
+	var err error
+	if rc.pipelined {
+		res, sched, err = esrp.RecordSchedulePipelined(rc.cfg)
+	} else {
+		res, sched, err = esrp.RecordSchedule(rc.cfg)
+	}
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	return res, sched
+}
+
+// TestRecostReproducesSolveBitForBit is the tentpole gate: replayed under
+// the recording machine model, a schedule reproduces the full solve's
+// SimTime, RecoveryTime, BytesSent and MsgsSent exactly (float equality, no
+// tolerance) for every strategy including multi-event and shrink timelines.
+func TestRecostReproducesSolveBitForBit(t *testing.T) {
+	for _, rc := range replayCases(t) {
+		t.Run(rc.name, func(t *testing.T) {
+			cfg := rc.cfg
+			cfg.Observe = &esrp.ObserveOptions{Trace: true} // envelope cross-check
+			rcT := rc
+			rcT.cfg = cfg
+			res, sched := record(t, rcT)
+			if !res.Converged {
+				t.Fatalf("case did not converge (relres %g)", res.RelResidual)
+			}
+			if len(rc.cfg.Failures) > 0 || rc.cfg.Failure != nil {
+				if len(res.Events) == 0 {
+					t.Fatalf("no failure events fired; the case is vacuous")
+				}
+			}
+			rep, err := esrp.Recost(sched, esrp.DefaultCostModel())
+			if err != nil {
+				t.Fatalf("Recost: %v", err)
+			}
+			if rep.SimTime != res.SimTime {
+				t.Errorf("SimTime: replay %.17g, solve %.17g", rep.SimTime, res.SimTime)
+			}
+			if rep.RecoveryTime != res.RecoveryTime {
+				t.Errorf("RecoveryTime: replay %.17g, solve %.17g", rep.RecoveryTime, res.RecoveryTime)
+			}
+			if rep.BytesSent != res.BytesSent {
+				t.Errorf("BytesSent: replay %d, solve %d", rep.BytesSent, res.BytesSent)
+			}
+			if rep.MsgsSent != res.MsgsSent {
+				t.Errorf("MsgsSent: replay %d, solve %d", rep.MsgsSent, res.MsgsSent)
+			}
+			// Per-event recovery envelopes must match the trace's bit-for-bit:
+			// same count per rank, same failure iteration, same [start, end).
+			if tr := res.Trace; tr != nil {
+				for g := range tr.Envelopes {
+					want := tr.Envelopes[g]
+					got := rep.Envelopes[g]
+					if len(got) != len(want) {
+						t.Errorf("rank %d: %d replayed envelopes, trace has %d", g, len(got), len(want))
+						continue
+					}
+					for k := range want {
+						if got[k].Iter != want[k].Iter || got[k].Start != want[k].Start || got[k].End != want[k].End {
+							t.Errorf("rank %d envelope %d: replay {%d %.17g %.17g}, trace {%d %.17g %.17g}",
+								g, k, got[k].Iter, got[k].Start, got[k].End,
+								want[k].Iter, want[k].Start, want[k].End)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRecordingDoesNotPerturbSolve pins the zero-interference half of the
+// contract: a recorded solve's figures equal an unrecorded one's.
+func TestRecordingDoesNotPerturbSolve(t *testing.T) {
+	rc := replayCases(t)[3] // esrp/multi-event
+	res, _ := record(t, rc)
+	plain, err := esrp.Solve(rc.cfg)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.SimTime != plain.SimTime || res.BytesSent != plain.BytesSent ||
+		res.MsgsSent != plain.MsgsSent || res.RecoveryTime != plain.RecoveryTime ||
+		res.Iterations != plain.Iterations {
+		t.Fatalf("recording perturbed the solve: recorded %+v, plain %+v", res, plain)
+	}
+}
+
+// TestRecostUnderSweptMachines checks the point of the exercise: replays
+// under different machine models move the modeled runtime the way the LogGP
+// arithmetic says they must, without re-running the solve.
+func TestRecostUnderSweptMachines(t *testing.T) {
+	rc := replayCases(t)[3] // esrp/multi-event
+	_, sched := record(t, rc)
+	base := esrp.DefaultCostModel()
+	ref, err := esrp.Recost(sched, base)
+	if err != nil {
+		t.Fatalf("Recost: %v", err)
+	}
+	slow := base
+	slow.Latency *= 10
+	repSlow, err := esrp.Recost(sched, slow)
+	if err != nil {
+		t.Fatalf("Recost(10×L): %v", err)
+	}
+	if repSlow.SimTime <= ref.SimTime {
+		t.Errorf("10× latency should slow the replayed solve: %.6g ≤ %.6g", repSlow.SimTime, ref.SimTime)
+	}
+	if repSlow.BytesSent != ref.BytesSent || repSlow.MsgsSent != ref.MsgsSent {
+		t.Errorf("traffic is model-independent; replays disagree: %d/%d vs %d/%d",
+			repSlow.BytesSent, repSlow.MsgsSent, ref.BytesSent, ref.MsgsSent)
+	}
+	fast := base
+	fast.FlopTime /= 8
+	repFast, err := esrp.Recost(sched, fast)
+	if err != nil {
+		t.Fatalf("Recost(8× flops): %v", err)
+	}
+	if repFast.SimTime >= ref.SimTime {
+		t.Errorf("8× faster cores should speed the replayed solve: %.6g ≥ %.6g", repFast.SimTime, ref.SimTime)
+	}
+}
+
+// TestScheduleSerializationRoundTrip: binary and JSON encodings round-trip
+// to a schedule whose replay is bit-identical, and re-encoding the decoded
+// schedule reproduces the original bytes.
+func TestScheduleSerializationRoundTrip(t *testing.T) {
+	rc := replayCases(t)[3] // esrp/multi-event: exercises every event kind
+	_, sched := record(t, rc)
+	ref, err := esrp.Recost(sched, esrp.DefaultCostModel())
+	if err != nil {
+		t.Fatalf("Recost: %v", err)
+	}
+
+	var bin bytes.Buffer
+	if err := sched.WriteBinary(&bin); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	first := append([]byte(nil), bin.Bytes()...)
+	decoded, err := esrp.ReadScheduleBinary(&bin)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	var again bytes.Buffer
+	if err := decoded.WriteBinary(&again); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(first, again.Bytes()) {
+		t.Errorf("binary encoding is not stable under decode/encode (%d vs %d bytes)", len(first), again.Len())
+	}
+	repBin, err := esrp.Recost(decoded, esrp.DefaultCostModel())
+	if err != nil {
+		t.Fatalf("Recost(decoded): %v", err)
+	}
+	if repBin.SimTime != ref.SimTime || repBin.RecoveryTime != ref.RecoveryTime ||
+		repBin.BytesSent != ref.BytesSent || repBin.MsgsSent != ref.MsgsSent {
+		t.Errorf("binary round-trip changed the replay: %+v vs %+v", repBin, ref)
+	}
+
+	var js bytes.Buffer
+	if err := sched.WriteJSON(&js); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	fromJSON, err := esrp.ReadScheduleJSON(&js)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	repJSON, err := esrp.Recost(fromJSON, esrp.DefaultCostModel())
+	if err != nil {
+		t.Fatalf("Recost(json): %v", err)
+	}
+	if repJSON.SimTime != ref.SimTime || repJSON.RecoveryTime != ref.RecoveryTime ||
+		repJSON.BytesSent != ref.BytesSent || repJSON.MsgsSent != ref.MsgsSent {
+		t.Errorf("JSON round-trip changed the replay: %+v vs %+v", repJSON, ref)
+	}
+
+	if _, err := esrp.ReadScheduleBinary(bytes.NewReader([]byte("notaschedule"))); err == nil {
+		t.Errorf("ReadScheduleBinary accepted garbage")
+	}
+}
+
+// TestScheduleBytesDeterministicAcrossRuns: recording the same solve twice
+// yields byte-identical serialized schedules — the view canonicalization
+// erases the racy arena-creation order.
+func TestScheduleBytesDeterministicAcrossRuns(t *testing.T) {
+	rc := replayCases(t)[6] // spares-exhausted: creates sub-communicator views
+	_, s1 := record(t, rc)
+	_, s2 := record(t, rc)
+	var b1, b2 bytes.Buffer
+	if err := s1.WriteBinary(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.WriteBinary(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Errorf("two recordings of one solve serialize differently (%d vs %d bytes)", b1.Len(), b2.Len())
+	}
+}
+
+// TestCampaignMachineSweepDeterministicAcrossWorkers: a -sweep-machine
+// campaign's full report (cells and machine cells) is byte-identical
+// regardless of the worker count, and each machine cell replayed under the
+// recording model matches its cell's full solve bit-for-bit.
+func TestCampaignMachineSweepDeterministicAcrossWorkers(t *testing.T) {
+	a := esrp.Poisson2D(24, 24)
+	base := esrp.DefaultCostModel()
+	slow := base
+	slow.Latency *= 10
+	grid := func(workers int) esrp.CampaignGrid {
+		return esrp.CampaignGrid{
+			Matrices:   []esrp.CampaignMatrix{{Name: "poisson24", A: a}},
+			Nodes:      []int{4},
+			Strategies: []esrp.Strategy{esrp.StrategyESRP, esrp.StrategyIMCR},
+			Ts:         []int{8, 16},
+			Phis:       []int{1},
+			Seeds:      []int64{1, 2},
+			Scenario: esrp.FailureScenario{
+				Model: esrp.ScenarioExponential, Horizon: 60, MTBF: 150, MaxEvents: 2,
+			},
+			Machines: []esrp.CampaignMachine{
+				{Name: "default", Model: base},
+				{Name: "slow-net", Model: slow},
+			},
+			Workers: workers,
+		}
+	}
+	rep1, err := esrp.RunCampaign(grid(1))
+	if err != nil {
+		t.Fatalf("RunCampaign(workers=1): %v", err)
+	}
+	rep4, err := esrp.RunCampaign(grid(4))
+	if err != nil {
+		t.Fatalf("RunCampaign(workers=4): %v", err)
+	}
+	j1, err := json.Marshal(rep1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j4, err := json.Marshal(rep4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j4) {
+		t.Errorf("machine-sweep report bytes differ across worker counts (%d vs %d bytes)", len(j1), len(j4))
+	}
+	if len(rep1.MachineCells) != len(rep1.Cells)*len(rep1.Machines) {
+		t.Fatalf("machine cells: got %d, want %d", len(rep1.MachineCells), len(rep1.Cells)*len(rep1.Machines))
+	}
+	for _, mc := range rep1.MachineCells {
+		if mc.Err != "" {
+			t.Fatalf("machine cell (%d,%d): %s", mc.Cell, mc.Machine, mc.Err)
+		}
+		if rep1.Machines[mc.Machine].Name != "default" {
+			continue
+		}
+		c := rep1.Cells[mc.Cell]
+		if c.Err != "" {
+			t.Fatalf("cell %d: %s", mc.Cell, c.Err)
+		}
+		if mc.SimTime != c.SimTime || mc.RecoveryTime != c.RecoveryTime || mc.BytesSent != c.BytesSent {
+			t.Errorf("cell %d under the recording model: replay (%.17g, %.17g, %d) vs solve (%.17g, %.17g, %d)",
+				mc.Cell, mc.SimTime, mc.RecoveryTime, mc.BytesSent, c.SimTime, c.RecoveryTime, c.BytesSent)
+		}
+	}
+}
