@@ -1,0 +1,125 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"esrp"
+)
+
+// This file measures the PR 10 cache row family: the CI campaign smoke grid
+// swept cold (every cell solved, the cache populated as a side effect), warm
+// (every cell a result-tier hit — zero solves), and warm at a machine point
+// the cache has never seen (every cell a schedule-tier hit: the recorded
+// event schedule re-costed under the new LogGP model, still zero solves).
+// The simulated figures are byte-identical across all three paths — the
+// cache-determinism CI job holds that gate — so the rows isolate pure host
+// throughput: how many sweep cells per second each path sustains.
+
+// benchCachedCampaign measures one cache-backed sweep variant: ns per full
+// sweep plus the derived cells/sec throughput.
+func benchCachedCampaign(name string, sweep func() error, cells int) HostMetric {
+	fmt.Fprintf(os.Stderr, "esrpbench: cache rows: %s...\n", name)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := sweep(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	m := HostMetric{
+		Name: name, GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+	}
+	if r.NsPerOp() > 0 {
+		m.CellsPerSec = float64(cells) / (float64(r.NsPerOp()) / 1e9)
+	}
+	return m
+}
+
+// runCacheBench measures the three cache sweep paths over the smoke grid and
+// returns the rows plus the warm-over-cold throughput multiplier.
+func runCacheBench() ([]HostMetric, float64) {
+	grid := smokeGrid(esrp.KernelAuto)
+	rep, err := esrp.RunCampaign(grid)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "esrpbench: cache rows skipped: %v\n", err)
+		return nil, 0
+	}
+	cells := len(rep.Cells)
+
+	// Cold: a fresh cache directory per iteration, so every sweep both
+	// solves all cells and pays the full cache-write path.
+	cold := benchCachedCampaign("cache/cold-sweep", func() error {
+		dir, err := os.MkdirTemp("", "esrpbench-ccache")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		g := smokeGrid(esrp.KernelAuto)
+		g.Cache, _, err = esrp.OpenCampaignCache(dir, esrp.CacheMismatchBypass)
+		if err != nil {
+			return err
+		}
+		_, err = esrp.RunCampaign(g)
+		return err
+	}, cells)
+
+	// Warm: one pre-populated directory, every iteration a pure
+	// result-tier sweep — zero solves, zero re-costs.
+	warmDir, err := os.MkdirTemp("", "esrpbench-ccache")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "esrpbench: cache rows skipped: %v\n", err)
+		return []HostMetric{cold}, 0
+	}
+	defer os.RemoveAll(warmDir)
+	cache, _, err := esrp.OpenCampaignCache(warmDir, esrp.CacheMismatchBypass)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "esrpbench: cache rows skipped: %v\n", err)
+		return []HostMetric{cold}, 0
+	}
+	// One grid value reused across iterations (matrix generation is not
+	// part of the measured sweep — matching benchCampaign).
+	warmGrid := smokeGrid(esrp.KernelAuto)
+	warmGrid.Cache = cache
+	if _, err := esrp.RunCampaign(warmGrid); err != nil {
+		fmt.Fprintf(os.Stderr, "esrpbench: cache rows skipped: %v\n", err)
+		return []HostMetric{cold}, 0
+	}
+	warm := benchCachedCampaign("cache/warm-sweep", func() error {
+		_, err := esrp.RunCampaign(warmGrid)
+		return err
+	}, cells)
+
+	// Warm at a new machine point: the stored entries never match the
+	// requested model, so every cell re-costs its recorded schedule under
+	// the new LogGP parameters. A schedule hit upgrades the entry to the
+	// model it served, so two alternating machine points keep every
+	// iteration on the schedule-tier path instead of degenerating into
+	// result hits after the first sweep.
+	slow := esrp.DefaultCostModel()
+	slow.Latency *= 4
+	slow.BytePeriod *= 2
+	slower := esrp.DefaultCostModel()
+	slower.Latency *= 16
+	models := [2]esrp.CostModel{slow, slower}
+	recostGrid := warmGrid
+	iter := 0
+	recost := benchCachedCampaign("cache/warm-machine-recost", func() error {
+		recostGrid.CostModel = &models[iter%2]
+		iter++
+		_, err := esrp.RunCampaign(recostGrid)
+		return err
+	}, cells)
+
+	speedup := 0.0
+	if warm.NsPerOp > 0 {
+		speedup = float64(cold.NsPerOp) / float64(warm.NsPerOp)
+	}
+	fmt.Fprintf(os.Stderr, "esrpbench: cache rows: cold %.3g cells/sec vs warm %.3g cells/sec (%.0f× over %d cells; machine re-cost %.3g cells/sec)\n",
+		cold.CellsPerSec, warm.CellsPerSec, speedup, cells, recost.CellsPerSec)
+	return []HostMetric{cold, warm, recost}, speedup
+}

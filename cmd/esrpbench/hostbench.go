@@ -19,7 +19,7 @@ import (
 // number alongside each performance PR: the chaining below picks up the
 // newest lower-numbered BENCH_PR*.json automatically, so the trajectory
 // stays machine-readable without hand-wiring file names.
-const hostBenchFile = "BENCH_PR9.json"
+const hostBenchFile = "BENCH_PR10.json"
 
 // HostMetric is one host-side performance measurement: wall-clock and
 // allocation cost per operation, plus sweep throughput for the campaign
@@ -103,6 +103,15 @@ type HostBenchReport struct {
 	// the throughput multiplier the replay engine buys machine sweeps.
 	Replay        []HostMetric `json:"replay,omitempty"`
 	ReplaySpeedup float64      `json:"replay_speedup,omitempty"`
+
+	// Cache is the PR 10 row family: the campaign smoke grid swept cold
+	// (solves + cache population), warm (pure result-tier hits, zero
+	// solves), and warm at an uncached machine point (pure schedule-tier
+	// re-costs, zero solves). CacheWarmSpeedup is warm-over-cold sweep
+	// throughput — the multiplier the content-addressed cache buys an
+	// unchanged re-run.
+	Cache            []HostMetric `json:"cache,omitempty"`
+	CacheWarmSpeedup float64      `json:"cache_warm_speedup,omitempty"`
 }
 
 // hostBenchCases mirrors bench_test.go's BenchmarkHostSolve fixtures — the
@@ -379,6 +388,7 @@ func writeHostBench(dir, baselinePath, note string, scaling bool) (string, error
 		Optimized:       runHostBench(esrp.KernelAuto),
 	}
 	rep.Replay, rep.ReplaySpeedup = runReplayBench()
+	rep.Cache, rep.CacheWarmSpeedup = runCacheBench()
 	if scaling {
 		rep.Scaling = runScaling()
 	}

@@ -2,7 +2,6 @@ package main
 
 import (
 	"fmt"
-	"os"
 	"strconv"
 	"strings"
 
@@ -105,18 +104,4 @@ func parseMachineSweep(spec string, base esrp.CostModel) ([]esrp.CampaignMachine
 		out[i] = esrp.CampaignMachine{Name: names[i], Model: models[i]}
 	}
 	return out, nil
-}
-
-// writeSchedule exports one recorded cell schedule in the compact binary
-// format (replayable with esrp.ReadScheduleBinary / Recost).
-func writeSchedule(s *esrp.Schedule, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := s.WriteBinary(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }

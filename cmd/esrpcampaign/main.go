@@ -66,7 +66,11 @@ func main() {
 		kernel  = flag.String("kernel", "auto", "SpMV kernel layout: auto|csr|sellc|band (cells and JSON are bit-identical under every choice)")
 
 		sweepMachine = flag.String("sweep-machine", "", "machine-parameter sweep on the replay engine: semicolon-separated LogGP value lists crossed into a grid, e.g. \"L=1x,4x,16x;G=1x,8x\" (keys L|o|G|f; absolute seconds or Nx multipliers of the default model). Each grid cell is solved and recorded once, then re-costed per machine point in O(events); results land in the report's machine_cells")
-		schedulesDir = flag.String("schedules", "", "directory for the per-cell recorded schedules (compact binary, replayable via esrp.ReadScheduleBinary); requires -sweep-machine")
+		schedulesDir = flag.String("schedules", "", "directory for the per-cell recorded schedules (framed compact binary, replayable via esrp.ReadScheduleFile); requires -sweep-machine")
+		machineSpec  = flag.String("machine", "", "override the base machine model for every cell: same syntax as -sweep-machine but naming exactly one point, e.g. \"L=2x;G=0.5x\". Against a warm -cache this is served entirely from the schedule tier (re-cost, no solves)")
+
+		cachePath     = flag.String("cache", "", "persistent content-addressed cell cache directory: completed cells are reused across runs (result tier), machine-model changes are re-costed from recorded schedules (schedule tier), and interrupted sweeps resume — partial or corrupt entries are detected and recomputed")
+		cacheMismatch = flag.String("cache-mismatch", "bypass", "when -cache was written by a different build: bypass (run cold, leave the directory untouched) or refresh (discard its entries and restamp)")
 
 		jsonPath = flag.String("json", "-", "JSON output path (- = stdout)")
 		csvPath  = flag.String("csv", "", "optional CSV output path (one row per cell)")
@@ -107,12 +111,42 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	if *machineSpec != "" {
+		points, err := parseMachineSweep(*machineSpec, esrp.DefaultCostModel())
+		if err != nil {
+			fatalf("bad -machine: %v", err)
+		}
+		if len(points) != 1 {
+			fatalf("-machine must name exactly one machine point, got %d (use -sweep-machine for grids)", len(points))
+		}
+		model := points[0].Model
+		grid.CostModel = &model
+	}
 	if *sweepMachine != "" {
 		machines, err := parseMachineSweep(*sweepMachine, esrp.DefaultCostModel())
 		if err != nil {
 			fatalf("bad -sweep-machine: %v", err)
 		}
 		grid.Machines = machines
+	}
+	if *cachePath != "" {
+		var policy esrp.CacheMismatchPolicy
+		switch *cacheMismatch {
+		case "bypass":
+			policy = esrp.CacheMismatchBypass
+		case "refresh":
+			policy = esrp.CacheMismatchRefresh
+		default:
+			fatalf("bad -cache-mismatch %q (want bypass or refresh)", *cacheMismatch)
+		}
+		cache, note, err := esrp.OpenCampaignCache(*cachePath, policy)
+		if err != nil {
+			fatalf("opening cache: %v", err)
+		}
+		if note != "" {
+			fmt.Fprintf(os.Stderr, "esrpcampaign: %s\n", note)
+		}
+		grid.Cache = cache // nil after a bypassed mismatch: the run stays cold
 	}
 	if *schedulesDir != "" {
 		if len(grid.Machines) == 0 {
@@ -124,9 +158,10 @@ func main() {
 		dir := *schedulesDir
 		grid.OnCellSchedule = func(index int, c *esrp.CampaignCell, s *esrp.Schedule) {
 			// Delivered concurrently, but every cell index gets its own file,
-			// so the writes never contend.
+			// so the writes never contend. The file format is the cache's
+			// framed schedule encoding — one serializer for schedules on disk.
 			path := filepath.Join(dir, fmt.Sprintf("cell-%04d-%s-%s-T%d-seed%d.sched", index, c.Matrix, c.Strategy, c.T, c.Seed))
-			if err := writeSchedule(s, path); err != nil {
+			if err := esrp.WriteScheduleFile(path, s); err != nil {
 				fmt.Fprintf(os.Stderr, "esrpcampaign: schedule %s: %v\n", path, err)
 			}
 		}
@@ -148,10 +183,11 @@ func main() {
 		}
 	}
 	// Host telemetry rides along whenever something consumes it: the -v
-	// meter, the host trace, or the metrics textfile. The report JSON/CSV
-	// bytes are identical with the recorder on or off (pinned by tests).
+	// meter, the host trace, the metrics textfile, or the cache hit/miss
+	// accounting. The report JSON/CSV bytes are identical with the
+	// recorder on or off (pinned by tests).
 	var hostRec *esrp.HostRecorder
-	if *verbose || *hostTracePath != "" || *metricsPath != "" {
+	if *verbose || *hostTracePath != "" || *metricsPath != "" || grid.Cache != nil {
 		hostRec = esrp.NewHostRecorder()
 		grid.HostObs = hostRec
 	}
@@ -175,17 +211,22 @@ func main() {
 			elapsed := time.Since(start).Seconds()
 			rate := float64(done) / math.Max(elapsed, 1e-9)
 			eta := time.Duration(float64(total-done) / rate * float64(time.Second))
+			cacheMeter := ""
+			if grid.Cache != nil {
+				rh, sh, ms := hostRec.LiveCacheHits()
+				cacheMeter = fmt.Sprintf(" cache %d+%d hit/%d miss", rh, sh, ms)
+			}
 			if showShards {
 				perShard := make([]string, 0, 8)
 				for _, c := range hostRec.LiveWorkerCells() {
 					perShard = append(perShard, strconv.FormatInt(c, 10))
 				}
-				fmt.Fprintf(os.Stderr, "\rcells %d/%d (%.1f/s, ETA %v) shards [%s] steals %d   ",
+				fmt.Fprintf(os.Stderr, "\rcells %d/%d (%.1f/s, ETA %v) shards [%s] steals %d%s   ",
 					done, total, rate, eta.Round(time.Second),
-					strings.Join(perShard, " "), hostRec.LiveSteals())
+					strings.Join(perShard, " "), hostRec.LiveSteals(), cacheMeter)
 				return
 			}
-			fmt.Fprintf(os.Stderr, "\rcells %d/%d (%.1f/s, ETA %v)   ", done, total, rate, eta.Round(time.Second))
+			fmt.Fprintf(os.Stderr, "\rcells %d/%d (%.1f/s, ETA %v)%s   ", done, total, rate, eta.Round(time.Second), cacheMeter)
 		}
 	}
 

@@ -54,6 +54,7 @@ import (
 	"io"
 
 	"esrp/internal/campaign"
+	"esrp/internal/ccache"
 	"esrp/internal/ckptmodel"
 	"esrp/internal/cluster"
 	"esrp/internal/core"
@@ -334,6 +335,54 @@ func ReadScheduleBinary(r io.Reader) (*Schedule, error) { return replay.ReadBina
 
 // ReadScheduleJSON decodes a schedule written by Schedule.WriteJSON.
 func ReadScheduleJSON(r io.Reader) (*Schedule, error) { return replay.ReadJSON(r) }
+
+// Persistent campaign cache (internal/ccache): a content-addressed store
+// of per-cell results and recorded schedules, keyed by a digest of each
+// cell's complete input with the machine model deliberately excluded —
+// so one cold sweep serves exact re-runs from the result tier and any
+// new machine point from the schedule tier via Recost.
+
+type (
+	// CampaignCache is an open cache directory (CampaignGrid.Cache). A
+	// nil *CampaignCache is fully inert, so it can be threaded
+	// unconditionally.
+	CampaignCache = ccache.Cache
+	// CacheMismatchPolicy selects how OpenCampaignCache treats a
+	// directory stamped by a different build.
+	CacheMismatchPolicy = ccache.MismatchPolicy
+	// CacheStats snapshots a cache's raw I/O counters.
+	CacheStats = ccache.IOStats
+	// CampaignCacheCounters is the cache section of a HostRecorder's
+	// telemetry: hit/miss classification plus I/O and corruption totals.
+	CampaignCacheCounters = hostobs.CacheCounters
+)
+
+// Mismatch policies for OpenCampaignCache.
+const (
+	// CacheMismatchBypass leaves a foreign-build cache untouched and runs
+	// without one (the returned cache is nil).
+	CacheMismatchBypass = ccache.MismatchBypass
+	// CacheMismatchRefresh discards a foreign-build cache's entries and
+	// restamps it for this binary.
+	CacheMismatchRefresh = ccache.MismatchRefresh
+)
+
+// OpenCampaignCache opens (creating if absent) a campaign cache stamped
+// with this binary's build provenance. On a build mismatch it applies
+// policy and returns a non-empty note the caller should surface — entries
+// from different builds are never silently mixed.
+func OpenCampaignCache(dir string, policy CacheMismatchPolicy) (*CampaignCache, string, error) {
+	return ccache.Open(dir, obs.CurrentBuild(), policy)
+}
+
+// WriteScheduleFile writes one recorded schedule as a framed
+// (length + CRC-32) file — the single on-disk schedule format, shared by
+// the cache's schedule tier and the esrpcampaign -schedules export.
+func WriteScheduleFile(path string, s *Schedule) error { return ccache.WriteScheduleFile(path, s) }
+
+// ReadScheduleFile reads a schedule written by WriteScheduleFile (or a
+// bare pre-cache Schedule.WriteBinary stream).
+func ReadScheduleFile(path string) (*Schedule, error) { return ccache.ReadScheduleFile(path) }
 
 // Matrix generators (synthetic analogs of the paper's test problems).
 

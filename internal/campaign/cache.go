@@ -1,0 +1,242 @@
+package campaign
+
+import (
+	"esrp/internal/ccache"
+	"esrp/internal/cluster"
+	"esrp/internal/core"
+	"esrp/internal/precond"
+	"esrp/internal/replay"
+)
+
+// cellCacheState classifies how the cache probe satisfied one cell.
+type cellCacheState uint8
+
+const (
+	// cellMiss: no usable entry — the cell solves (and stores both tiers).
+	cellMiss cellCacheState = iota
+	// cellResultHit: the stored model matches the run's — the cell is
+	// filled straight from the result tier, zero solves.
+	cellResultHit
+	// cellScheduleHit: the stored model differs — machine-independent
+	// fields come from the result tier and the simulated times from an
+	// O(events) re-cost of the stored schedule.
+	cellScheduleHit
+)
+
+// cacheRun is the per-run cache context: keys, probe classifications and
+// eagerly loaded entries for every cell. Probing happens before the
+// prepare phase so fully-warm prep groups skip factorization entirely —
+// that skip, not the solve skip, is most of the warm-path win on wide
+// grids. Entries are validated (frame checksum + full decode) at probe
+// time, so a hit can never degrade into a late corruption surprise; a
+// corrupt entry is classified as a miss and recomputed, never trusted.
+type cacheRun struct {
+	model    cluster.CostModel // the run's effective recording model
+	keys     []ccache.Key
+	state    []cellCacheState
+	entries  []*ccache.ResultEntry
+	scheds   []*replay.Schedule
+	compiled []bool // probe already filled c.Events/c.Clamped
+}
+
+// cellInputOf assembles the content address of one cell. The values
+// mirror exactly what runCell puts into core.Config — in particular
+// Spares is zeroed for strategies that never draw from the pool, and the
+// default preconditioner is normalized to core's effective choice so
+// spelled-out and defaulted grids share entries.
+func (g *Grid) cellInputOf(c *Cell, strat core.Strategy, mdigest [32]byte) ccache.CellInput {
+	spares := 0
+	if strat == core.StrategyESR || strat == core.StrategyESRP {
+		spares = g.Spares
+	}
+	pk := g.Precond
+	if pk == precond.Default {
+		pk = precond.BlockJacobi
+	}
+	return ccache.CellInput{
+		Matrix:   mdigest,
+		Nodes:    c.Nodes,
+		Strategy: strat,
+		T:        c.T,
+		Phi:      c.Phi,
+		Seed:     c.Seed,
+		Events:   c.Events,
+		Spares:   spares,
+		Rtol:     g.Rtol,
+		MaxIter:  g.MaxIter,
+		MaxBlock: g.MaxBlock,
+		Precond:  pk,
+		Kernel:   g.Kernel,
+	}
+}
+
+// probeCache compiles every cell's scenario, computes its content
+// address, and classifies it against the cache (nil when the grid has no
+// cache). Cells whose strategy fails to parse or whose scenario fails to
+// compile stay misses; runCell surfaces their errors exactly as on the
+// cold path.
+func (g *Grid) probeCache(cells []Cell, matrices map[string]MatrixSpec) *cacheRun {
+	if g.Cache == nil {
+		return nil
+	}
+	model := cluster.DefaultCostModel()
+	if g.CostModel != nil {
+		model = *g.CostModel
+	}
+	cr := &cacheRun{
+		model:    model,
+		keys:     make([]ccache.Key, len(cells)),
+		state:    make([]cellCacheState, len(cells)),
+		entries:  make([]*ccache.ResultEntry, len(cells)),
+		scheds:   make([]*replay.Schedule, len(cells)),
+		compiled: make([]bool, len(cells)),
+	}
+	digests := make(map[string][32]byte, len(matrices))
+	for name, m := range matrices {
+		digests[name] = ccache.MatrixDigest(m.A, m.B)
+	}
+	for i := range cells {
+		c := &cells[i]
+		strat, err := core.ParseStrategy(c.Strategy)
+		if err != nil {
+			continue
+		}
+		if err := g.compileCell(c, strat); err != nil {
+			continue
+		}
+		cr.compiled[i] = true
+		in := g.cellInputOf(c, strat, digests[c.Matrix])
+		cr.keys[i] = in.Key()
+		entry, ok := g.Cache.GetResult(cr.keys[i])
+		if !ok {
+			continue
+		}
+		// An exact-model entry answers the cell from the result tier
+		// alone; a machine sweep or a model change additionally needs the
+		// recorded schedule. If the schedule tier can't deliver one, the
+		// whole cell re-solves so both tiers get rewritten consistently.
+		needSchedule := len(g.Machines) > 0 || entry.Model != model
+		if !needSchedule {
+			cr.state[i] = cellResultHit
+			cr.entries[i] = entry
+			continue
+		}
+		sched, ok := g.Cache.GetSchedule(cr.keys[i])
+		if !ok {
+			continue
+		}
+		cr.entries[i] = entry
+		cr.scheds[i] = sched
+		if entry.Model == model {
+			cr.state[i] = cellResultHit
+		} else {
+			cr.state[i] = cellScheduleHit
+		}
+	}
+	return cr
+}
+
+// needsPrep reports whether cell i still needs a Prepared context: every
+// cell on a cache-less run, only the misses on a cache-backed one.
+func (cr *cacheRun) needsPrep(i int) bool {
+	return cr == nil || cr.state[i] == cellMiss
+}
+
+// fillFromCache completes one probe-classified hit: report fields from
+// the result tier, simulated times re-costed for a schedule hit, machine
+// sweep points replayed from the cached schedule. Returns false (and
+// demotes the cell to a miss) only if a re-cost fails, in which case the
+// caller falls through to a live solve.
+func (g *Grid) fillFromCache(index int, c *Cell, mcs []MachineCell, cr *cacheRun) bool {
+	entry := cr.entries[index]
+	sched := cr.scheds[index]
+
+	r := &entry.Result
+	c.Converged = r.Converged
+	c.Iterations = r.Iterations
+	c.TotalSteps = r.TotalSteps
+	c.RelResidual = r.RelResidual
+	c.SimTime = r.SimTime
+	c.RecoveryTime = r.RecoveryTime
+	c.WastedIters = r.WastedIters
+	c.Drift = r.Drift
+	c.MaxNodeBytes = r.MaxNodeBytes
+	c.HaloBytes = r.HaloBytes
+	c.BytesSent = r.BytesSent
+	c.ActiveNodes = r.ActiveNodes
+	c.Kernels = r.Kernels
+	c.Recoveries = r.Recoveries
+
+	if cr.state[index] == cellScheduleHit {
+		rep, err := sched.Recost(replay.CostModel(cr.model))
+		if err != nil {
+			cr.state[index] = cellMiss
+			return false
+		}
+		// Recost is bit-for-bit equal to a live solve under the same
+		// model (the replay-equivalence invariant), so the warm report
+		// matches a cold run at this machine point exactly.
+		c.SimTime = rep.SimTime
+		c.RecoveryTime = rep.RecoveryTime
+		// Upgrade the entry to the current model: the next run at this
+		// machine point becomes a pure result hit.
+		up := *entry
+		up.Model = cr.model
+		up.Result.SimTime = rep.SimTime
+		up.Result.RecoveryTime = rep.RecoveryTime
+		g.Cache.PutResult(cr.keys[index], &up)
+		g.HostObs.CacheScheduleHit()
+	} else {
+		g.HostObs.CacheResultHit()
+	}
+
+	for mi := range mcs {
+		rep, err := sched.Recost(replay.CostModel(g.Machines[mi].Model))
+		if err != nil {
+			mcs[mi].Err = err.Error()
+			continue
+		}
+		mcs[mi].SimTime = rep.SimTime
+		mcs[mi].RecoveryTime = rep.RecoveryTime
+		mcs[mi].BytesSent = rep.BytesSent
+		mcs[mi].MsgsSent = rep.MsgsSent
+	}
+	if sched != nil && g.OnCellSchedule != nil {
+		g.OnCellSchedule(index, c, sched)
+	}
+	cr.scheds[index] = nil // probe loaded eagerly; release once consumed
+	return true
+}
+
+// storeCell writes a freshly solved cell into both tiers (schedule first,
+// so a crash between the two writes leaves a state the next probe treats
+// as a plain miss). Store failures are deliberately non-fatal: the cache
+// is an accelerator, and a cell that fails to persist simply recomputes
+// next run.
+func (g *Grid) storeCell(index int, c *Cell, res *core.Result, sched *replay.Schedule, cr *cacheRun) {
+	if c.Err != "" {
+		return
+	}
+	if sched != nil {
+		g.Cache.PutSchedule(cr.keys[index], sched) //nolint:errcheck // best-effort persist
+	}
+	g.Cache.PutResult(cr.keys[index], &ccache.ResultEntry{ //nolint:errcheck // best-effort persist
+		Model: cr.model,
+		Result: ccache.CellResult{
+			Converged:    res.Converged,
+			Iterations:   res.Iterations,
+			TotalSteps:   res.TotalSteps,
+			RelResidual:  res.RelResidual,
+			SimTime:      res.SimTime,
+			RecoveryTime: res.RecoveryTime,
+			WastedIters:  res.WastedIters,
+			Drift:        res.Drift,
+			MaxNodeBytes: res.MaxNodeBytes,
+			HaloBytes:    res.HaloBytes,
+			BytesSent:    res.BytesSent,
+			ActiveNodes:  res.ActiveNodes,
+			Kernels:      core.CondenseKernels(res.Kernels),
+			Recoveries:   res.Events,
+		},
+	})
+}

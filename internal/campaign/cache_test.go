@@ -1,0 +1,310 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"esrp/internal/ccache"
+	"esrp/internal/cluster"
+	"esrp/internal/core"
+	"esrp/internal/hostobs"
+	"esrp/internal/obs"
+	"esrp/internal/replay"
+)
+
+// openCache opens a test cache in dir (creating a fresh one on first use).
+func openCache(t *testing.T, dir string) *ccache.Cache {
+	t.Helper()
+	c, note, err := ccache.Open(dir, obs.BuildInfo{GoVersion: "test"}, ccache.MismatchBypass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if note != "" {
+		t.Fatalf("unexpected cache note: %s", note)
+	}
+	return c
+}
+
+// runJSON runs g and renders its report.
+func runJSON(t *testing.T, g Grid) []byte {
+	t.Helper()
+	rep, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// cacheCounters runs g with a recorder attached and returns the cache
+// section of its telemetry alongside the report bytes.
+func cacheCounters(t *testing.T, g Grid) ([]byte, *hostobs.CacheCounters) {
+	t.Helper()
+	rec := hostobs.NewCampaignRecorder()
+	g.HostObs = rec
+	out := runJSON(t, g)
+	tel := rec.Telemetry()
+	if g.Cache != nil && tel.Cache == nil {
+		t.Fatal("cache-backed run produced no cache telemetry")
+	}
+	return out, tel.Cache
+}
+
+// A warm re-run must be byte-identical to its cold run and touch zero
+// solves — at any worker count. This is the cache's core contract: hits
+// land at grid indices, so scheduling cannot perturb the report.
+func TestCacheWarmRunByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cold := tinyGrid()
+	cold.Cache = openCache(t, dir)
+	coldJSON, coldCtr := cacheCounters(t, cold)
+	if coldCtr.Misses == 0 || coldCtr.ResultHits != 0 || coldCtr.ScheduleHits != 0 {
+		t.Fatalf("cold run counters: %+v", coldCtr)
+	}
+
+	baseline := runJSON(t, tinyGrid()) // cache-less reference
+	if !bytes.Equal(coldJSON, baseline) {
+		t.Fatal("cold cache-backed run differs from the cache-less run")
+	}
+
+	for _, workers := range []int{1, 3, 4} {
+		warm := tinyGrid()
+		warm.Workers = workers
+		warm.Cache = openCache(t, dir)
+		warmJSON, ctr := cacheCounters(t, warm)
+		if !bytes.Equal(warmJSON, coldJSON) {
+			t.Fatalf("warm run (workers=%d) is not byte-identical to the cold run", workers)
+		}
+		if ctr.Misses != 0 || ctr.ScheduleHits != 0 || ctr.ResultHits != coldCtr.Misses {
+			t.Fatalf("warm run (workers=%d) counters: %+v (want %d pure result hits)", workers, ctr, coldCtr.Misses)
+		}
+	}
+}
+
+// A machine-point-only change must be served entirely from the schedule
+// tier — zero solves — and match a cacheless cold run under that model
+// bit-for-bit (the replay-equivalence invariant, now across processes).
+func TestCacheMachineChangeServedByScheduleTier(t *testing.T) {
+	dir := t.TempDir()
+	warmup := tinyGrid()
+	warmup.Cache = openCache(t, dir)
+	if _, err := Run(warmup); err != nil {
+		t.Fatal(err)
+	}
+
+	slow := cluster.DefaultCostModel()
+	slow.Latency *= 4
+	slow.BytePeriod *= 2
+
+	warm := tinyGrid()
+	warm.CostModel = &slow
+	warm.Cache = openCache(t, dir)
+	warmJSON, ctr := cacheCounters(t, warm)
+	if ctr.Misses != 0 || ctr.ResultHits != 0 || ctr.ScheduleHits == 0 {
+		t.Fatalf("machine-change counters: %+v (want pure schedule hits)", ctr)
+	}
+
+	ref := tinyGrid()
+	ref.CostModel = &slow
+	if !bytes.Equal(warmJSON, runJSON(t, ref)) {
+		t.Fatal("schedule-tier re-cost differs from a live solve under the new model")
+	}
+
+	// The re-cost upgraded the entries: a further run at the same model is
+	// pure result hits.
+	again := tinyGrid()
+	again.CostModel = &slow
+	again.Cache = openCache(t, dir)
+	againJSON, ctr2 := cacheCounters(t, again)
+	if ctr2.Misses != 0 || ctr2.ScheduleHits != 0 || ctr2.ResultHits == 0 {
+		t.Fatalf("post-upgrade counters: %+v (want pure result hits)", ctr2)
+	}
+	if !bytes.Equal(againJSON, warmJSON) {
+		t.Fatal("upgraded entries changed the report")
+	}
+}
+
+// A warm machine sweep (Grid.Machines) replays cached schedules instead
+// of solving, and its machine_cells match the cold sweep's exactly.
+func TestCacheWarmMachineSweep(t *testing.T) {
+	dir := t.TempDir()
+	fast := cluster.DefaultCostModel()
+	fast.FlopTime /= 2
+	machines := []MachinePoint{
+		{Name: "base", Model: cluster.DefaultCostModel()},
+		{Name: "fast", Model: fast},
+	}
+
+	cold := tinyGrid()
+	cold.Machines = machines
+	cold.Cache = openCache(t, dir)
+	coldJSON, _ := cacheCounters(t, cold)
+
+	warm := tinyGrid()
+	warm.Machines = machines
+	warm.Cache = openCache(t, dir)
+	warmJSON, ctr := cacheCounters(t, warm)
+	if ctr.Misses != 0 {
+		t.Fatalf("warm sweep counters: %+v (want zero misses)", ctr)
+	}
+	if !bytes.Equal(warmJSON, coldJSON) {
+		t.Fatal("warm machine sweep differs from the cold sweep")
+	}
+}
+
+// Corrupting entries between runs must force recomputation of exactly the
+// damaged cells — byte-identical output, never a crash, never trust.
+func TestCacheCorruptEntriesRecompute(t *testing.T) {
+	dir := t.TempDir()
+	cold := tinyGrid()
+	cold.Cache = openCache(t, dir)
+	coldJSON, coldCtr := cacheCounters(t, cold)
+
+	// Damage every result-tier entry three ways: truncate, flip, garble.
+	var resFiles []string
+	if err := filepath.WalkDir(filepath.Join(dir, "res"), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			resFiles = append(resFiles, path)
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(resFiles)) != coldCtr.Misses {
+		t.Fatalf("expected %d result entries, found %d", coldCtr.Misses, len(resFiles))
+	}
+	for i, path := range resFiles {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch i % 3 {
+		case 0:
+			data = data[:len(data)/2]
+		case 1:
+			data[len(data)-1] ^= 0x01
+		case 2:
+			copy(data, "BADMAGIC")
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	warm := tinyGrid()
+	warm.Cache = openCache(t, dir)
+	warmJSON, ctr := cacheCounters(t, warm)
+	if !bytes.Equal(warmJSON, coldJSON) {
+		t.Fatal("recomputed run differs from the cold run")
+	}
+	if ctr.ResultHits != 0 || ctr.Misses != coldCtr.Misses {
+		t.Fatalf("corrupted-cache counters: %+v (want all misses)", ctr)
+	}
+	if ctr.Corrupt == 0 {
+		t.Fatal("corruption went uncounted")
+	}
+
+	// The misses healed the cache: a third run is all hits again.
+	again := tinyGrid()
+	again.Cache = openCache(t, dir)
+	againJSON, ctr2 := cacheCounters(t, again)
+	if !bytes.Equal(againJSON, coldJSON) || ctr2.Misses != 0 {
+		t.Fatalf("cache did not heal: counters %+v", ctr2)
+	}
+}
+
+// An interrupted sweep leaves a partial cache; resuming reuses what
+// completed and computes the rest.
+func TestCachePartialSweepResumes(t *testing.T) {
+	dir := t.TempDir()
+	// "Interrupt" by running a narrower grid first: one strategy only.
+	partial := tinyGrid()
+	partial.Strategies = []core.Strategy{core.StrategyESRP}
+	partial.Cache = openCache(t, dir)
+	_, pc := cacheCounters(t, partial)
+
+	full := tinyGrid()
+	full.Cache = openCache(t, dir)
+	fullJSON, fc := cacheCounters(t, full)
+	if fc.ResultHits != pc.Misses || fc.Misses == 0 {
+		t.Fatalf("resume counters: partial=%+v full=%+v", pc, fc)
+	}
+	if !bytes.Equal(fullJSON, runJSON(t, tinyGrid())) {
+		t.Fatal("resumed run differs from a cold run")
+	}
+}
+
+// Cells keyed equal across different grids must not collide when any
+// solve-relevant grid knob differs: the key covers rtol, spares, kernels.
+func TestCacheKeyedByGridKnobs(t *testing.T) {
+	dir := t.TempDir()
+	g1 := tinyGrid()
+	g1.Cache = openCache(t, dir)
+	if _, err := Run(g1); err != nil {
+		t.Fatal(err)
+	}
+
+	g2 := tinyGrid()
+	g2.Rtol = 1e-6 // looser: fewer iterations — must not reuse 1e-8 entries
+	g2.Cache = openCache(t, dir)
+	json2, ctr := cacheCounters(t, g2)
+	if ctr.ResultHits != 0 || ctr.ScheduleHits != 0 {
+		t.Fatalf("rtol change hit stale entries: %+v", ctr)
+	}
+	ref := tinyGrid()
+	ref.Rtol = 1e-6
+	if !bytes.Equal(json2, runJSON(t, ref)) {
+		t.Fatal("rtol-changed run differs from its cold reference")
+	}
+}
+
+// The -schedules export path and the schedule tier share one serializer:
+// a schedule delivered via OnCellSchedule from a warm (cached) sweep is
+// bit-identical to the cold recording.
+func TestCacheScheduleCallbackBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	machines := []MachinePoint{{Name: "base", Model: cluster.DefaultCostModel()}}
+
+	run := func(g Grid) map[int][]byte {
+		g.Machines = machines
+		out := make(map[int][]byte)
+		var mu sync.Mutex
+		g.OnCellSchedule = func(index int, c *Cell, s *replay.Schedule) {
+			b, err := s.EncodeBinary()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			out[index] = b
+			mu.Unlock()
+		}
+		if _, err := Run(g); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	cold := tinyGrid()
+	cold.Cache = openCache(t, dir)
+	coldScheds := run(cold)
+
+	warm := tinyGrid()
+	warm.Cache = openCache(t, dir)
+	warmScheds := run(warm)
+
+	if len(coldScheds) == 0 || len(coldScheds) != len(warmScheds) {
+		t.Fatalf("schedule counts differ: cold %d warm %d", len(coldScheds), len(warmScheds))
+	}
+	for idx, cb := range coldScheds {
+		if !bytes.Equal(cb, warmScheds[idx]) {
+			t.Fatalf("cell %d: cached schedule differs from the recording", idx)
+		}
+	}
+}

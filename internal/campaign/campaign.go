@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"esrp/internal/ccache"
 	"esrp/internal/cluster"
 	"esrp/internal/core"
 	"esrp/internal/faultsim"
@@ -109,6 +110,18 @@ type Grid struct {
 	// successfully recorded cell's schedule (for artifact export). Called
 	// from worker goroutines; must be safe for concurrent use.
 	OnCellSchedule func(index int, c *Cell, s *replay.Schedule)
+
+	// Cache, when set, consults the persistent content-addressed store
+	// (internal/ccache) before solving: each cell's complete input is
+	// digested (machine model excluded — see ccache.CellInput), an
+	// exact-model entry fills the cell from the result tier with zero
+	// solves, a model mismatch re-costs the cached event schedule in
+	// O(events), and misses solve once and persist both tiers. Hits land
+	// at their grid indices, so report JSON/CSV stay byte-identical to a
+	// cold run at any worker count. Prep groups whose every cell hits
+	// skip factorization entirely. Nil (the default) is the cold path,
+	// bit-identical to pre-cache behaviour.
+	Cache *ccache.Cache
 
 	// HostObs, when set, records host-side execution telemetry for the run:
 	// per-worker wall-clock cell/steal timelines, shard layout and steal
@@ -363,13 +376,23 @@ func Run(g Grid) (*Report, error) {
 	g.HostObs.Begin(g.Workers, len(cells), maxNodes)
 	g.HostObs.SamplePhase("start")
 
+	// Probe the persistent cache first (nil cacheRun when Grid.Cache is
+	// nil): every cell's scenario compiles, its content address resolves,
+	// and hits load their entries — so the prepare phase below can skip
+	// factorizing contexts no miss needs, which on a fully-warm sweep
+	// eliminates setup along with the solves.
+	cr := g.probeCache(cells, matrices)
+	if cr != nil {
+		g.HostObs.SamplePhase("cache-probed")
+	}
+
 	// Build each distinct solve context (partition, plan, local matrices,
 	// preconditioners) exactly once, before the pool starts: many cells
 	// differ only in T, seed or strategy-within-augmentation and share the
 	// same read-only context, so the per-cell setup collapses to a map
 	// lookup. A context that fails to prepare stays nil and the cell falls
 	// back to the old per-cell path (surfacing the same error).
-	preps := g.prepareContexts(cells, matrices)
+	preps := g.prepareContexts(cells, matrices, cr.needsPrep)
 	g.HostObs.SamplePhase("prepared")
 
 	// Executor half: drain the affinity-sharded schedule (see schedule.go)
@@ -424,7 +447,7 @@ func Run(g Grid) (*Report, error) {
 				if nm := len(g.Machines); nm > 0 {
 					mcs = machineCells[i*nm : (i+1)*nm]
 				}
-				g.runCell(i, c, matrices[c.Matrix], preps[key], ws, mcs)
+				g.runCell(i, c, matrices[c.Matrix], preps[key], ws, mcs, cr)
 				wl.Cell(t0, i, haveKey && key == lastKey)
 				lastKey, haveKey = key, true
 				if g.Progress != nil {
@@ -435,6 +458,10 @@ func Run(g Grid) (*Report, error) {
 	}
 	wg.Wait()
 	g.HostObs.SamplePhase("done")
+	if g.Cache != nil {
+		io := g.Cache.Stats()
+		g.HostObs.SetCacheIO(io.BytesRead, io.BytesWritten, io.Corrupt)
+	}
 
 	return &Report{
 		Scenario:     g.Scenario.String(),
@@ -472,11 +499,16 @@ func prepKeyOf(c *Cell) prepKey {
 // by prepKey. The distinct keys are enumerated in deterministic cell order,
 // then built concurrently across the worker budget — contexts are
 // independent, and per-rank preconditioner factorization is the expensive
-// part of a wide grid's setup.
-func (g Grid) prepareContexts(cells []Cell, matrices map[string]MatrixSpec) map[prepKey]*core.Prepared {
+// part of a wide grid's setup. need(i) filters which cells still require a
+// context: a cache-backed run only prepares for its misses, so a fully-warm
+// prep group skips factorization along with its solves.
+func (g Grid) prepareContexts(cells []Cell, matrices map[string]MatrixSpec, need func(i int) bool) map[prepKey]*core.Prepared {
 	preps := make(map[prepKey]*core.Prepared)
 	var order []prepKey
 	for i := range cells {
+		if !need(i) {
+			continue
+		}
 		key := prepKeyOf(&cells[i])
 		if _, ok := preps[key]; !ok {
 			preps[key] = nil
@@ -485,6 +517,9 @@ func (g Grid) prepareContexts(cells []Cell, matrices map[string]MatrixSpec) map[
 	}
 	firstCell := make(map[prepKey]*Cell, len(order))
 	for i := range cells {
+		if !need(i) {
+			continue
+		}
 		key := prepKeyOf(&cells[i])
 		if firstCell[key] == nil {
 			firstCell[key] = &cells[i]
@@ -529,34 +564,24 @@ func (g Grid) prepareContexts(cells []Cell, matrices map[string]MatrixSpec) map[
 	return preps
 }
 
-// runCell compiles the cell's scenario, solves it, and condenses the result
-// in place. index is the cell's position in the grid order (the trace
-// sampling key). mcs, when non-nil, is this cell's machine-sweep result
-// window (one entry per Grid.Machines point): the solve is recorded once and
-// each point's figures come from an O(events) replay of the schedule.
-func (g Grid) runCell(index int, c *Cell, m MatrixSpec, prep *core.Prepared, ws *core.Workspace, mcs []MachineCell) {
-	strat, err := core.ParseStrategy(c.Strategy)
-	if err != nil {
-		c.Err = err.Error()
-		return
-	}
-
+// compileCell compiles the cell's failure scenario and applies the φ-clamp,
+// filling c.Events and c.Clamped. Redundancy covers at most φ simultaneous
+// failures; events wider than the cell's φ are clamped to their first φ
+// ranks (still a contiguous block) so every cell of the grid is admissible.
+// The clamp count is recorded — a grid with many clamps should raise φ or
+// shrink the correlation groups.
+func (g *Grid) compileCell(c *Cell, strat core.Strategy) error {
 	var events []core.FailureSpec
 	if g.Scenario.Model != faultsim.ModelFixed || len(g.Scenario.Schedule) > 0 {
 		sc := g.Scenario
 		sc.Nodes = c.Nodes
 		sc.Seed = c.Seed
+		var err error
 		events, err = sc.Compile()
 		if err != nil {
-			c.Err = err.Error()
-			return
+			return err
 		}
 	}
-	// Redundancy covers at most φ simultaneous failures; events wider than
-	// the cell's φ are clamped to their first φ ranks (still a contiguous
-	// block) so every cell of the grid is admissible. The clamp count is
-	// recorded — a grid with many clamps should raise φ or shrink the
-	// correlation groups.
 	if strat != core.StrategyNone && c.Phi > 0 {
 		for i := range events {
 			if len(events[i].Ranks) > c.Phi {
@@ -566,6 +591,34 @@ func (g Grid) runCell(index int, c *Cell, m MatrixSpec, prep *core.Prepared, ws 
 		}
 	}
 	c.Events = events
+	return nil
+}
+
+// runCell compiles the cell's scenario, solves it, and condenses the result
+// in place. index is the cell's position in the grid order (the trace
+// sampling key). mcs, when non-nil, is this cell's machine-sweep result
+// window (one entry per Grid.Machines point): the solve is recorded once and
+// each point's figures come from an O(events) replay of the schedule. cr,
+// when non-nil, is the cache context: hits fill the cell without solving,
+// misses solve with recording on and persist both tiers.
+func (g Grid) runCell(index int, c *Cell, m MatrixSpec, prep *core.Prepared, ws *core.Workspace, mcs []MachineCell, cr *cacheRun) {
+	strat, err := core.ParseStrategy(c.Strategy)
+	if err != nil {
+		c.Err = err.Error()
+		return
+	}
+	if cr == nil || !cr.compiled[index] {
+		if err := g.compileCell(c, strat); err != nil {
+			c.Err = err.Error()
+			return
+		}
+	}
+	if cr != nil && cr.state[index] != cellMiss && g.fillFromCache(index, c, mcs, cr) {
+		return
+	}
+	if cr != nil {
+		g.HostObs.CacheMiss()
+	}
 
 	cfg := core.Config{
 		A: m.A, B: m.B, Nodes: c.Nodes,
@@ -574,7 +627,7 @@ func (g Grid) runCell(index int, c *Cell, m MatrixSpec, prep *core.Prepared, ws 
 		PrecondKind: g.Precond, MaxBlock: g.MaxBlock,
 		Kernel:    g.Kernel,
 		CostModel: g.CostModel,
-		Failures:  events,
+		Failures:  c.Events,
 		Prepared:  prep,
 		Workspace: ws,
 		HostStats: g.HostObs.BarrierStats(), // nil when telemetry is off
@@ -586,8 +639,11 @@ func (g Grid) runCell(index int, c *Cell, m MatrixSpec, prep *core.Prepared, ws 
 	if traced {
 		cfg.Observe = &obs.Options{Trace: true}
 	}
+	// Record whenever a machine sweep needs the schedule, or a cache miss
+	// will persist it: the schedule tier is what lets future runs serve
+	// any machine point without a solve.
 	var srec *replay.Recorder
-	if len(mcs) > 0 {
+	if len(mcs) > 0 || (cr != nil && cr.compiled[index]) {
 		srec = replay.NewRecorder()
 		cfg.Record = srec
 	}
@@ -599,8 +655,9 @@ func (g Grid) runCell(index int, c *Cell, m MatrixSpec, prep *core.Prepared, ws 
 		}
 		return
 	}
+	var sched *replay.Schedule
 	if srec != nil {
-		sched := srec.Schedule()
+		sched = srec.Schedule()
 		for mi := range mcs {
 			rep, rerr := sched.Recost(replay.CostModel(g.Machines[mi].Model))
 			if rerr != nil {
@@ -615,6 +672,9 @@ func (g Grid) runCell(index int, c *Cell, m MatrixSpec, prep *core.Prepared, ws 
 		if g.OnCellSchedule != nil {
 			g.OnCellSchedule(index, c, sched)
 		}
+	}
+	if cr != nil && cr.compiled[index] {
+		g.storeCell(index, c, res, sched, cr)
 	}
 	c.Converged = res.Converged
 	c.Iterations = res.Iterations

@@ -1,0 +1,316 @@
+// Package ccache is the persistent, content-addressed store for campaign
+// artifacts: every cell of a sweep is a deterministic pure function of its
+// inputs (the repo's oldest pinned invariant — byte-identical reports at
+// any worker count), so its outputs can be addressed by a digest of those
+// inputs and reused across process lifetimes. The store has two tiers
+// under one key (see CellInput — the machine model is deliberately
+// excluded from it):
+//
+//   - the result tier holds the condensed per-cell result together with
+//     the cluster.CostModel it was computed under — an exact-model hit
+//     fills the report cell with zero solves;
+//   - the schedule tier holds the solve's recorded event schedule
+//     (replay's ESRPRPL1 binary encoding) — a model mismatch re-costs the
+//     schedule in O(events) via Schedule.Recost instead of re-solving, so
+//     one cold sweep serves every machine point forever after.
+//
+// Entries are framed (length + CRC-32) and written atomically, so an
+// interrupted sweep resumes safely: complete entries are reused, partial
+// or corrupted ones are detected and recomputed, never trusted. A
+// manifest stamps the build that produced the cache; a mismatching build
+// bypasses or refreshes the directory, loudly, never silently mixes.
+package ccache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"esrp/internal/cluster"
+	"esrp/internal/core"
+	"esrp/internal/obs"
+	"esrp/internal/replay"
+)
+
+// FormatVersion is the on-disk layout version, stamped into the manifest.
+// Layout changes bump it; an old-format directory is treated exactly like
+// a build mismatch.
+const FormatVersion = 1
+
+// manifestName is the stamp file at the cache root.
+const manifestName = "MANIFEST.json"
+
+// Tier subdirectories under the cache root. Entries shard by the first
+// two hex digits of their key so no single directory grows unbounded.
+const (
+	resultTierDir   = "res"
+	scheduleTierDir = "sch"
+)
+
+// Manifest identifies the build and layout a cache directory was written
+// by. It is stamped on first open and checked on every subsequent one.
+type Manifest struct {
+	Format int           `json:"format"`
+	Build  obs.BuildInfo `json:"build"`
+}
+
+// MismatchPolicy selects what Open does when the directory's manifest was
+// stamped by a different build (or an older format).
+type MismatchPolicy int
+
+const (
+	// MismatchBypass keeps the directory untouched and opens no cache
+	// (Open returns nil — every method on a nil *Cache is a safe no-op),
+	// so the run computes everything fresh without mixing provenances.
+	MismatchBypass MismatchPolicy = iota
+	// MismatchRefresh deletes both tiers and restamps the manifest with
+	// the current build, then opens the now-empty cache.
+	MismatchRefresh
+)
+
+// CellResult is the condensed, report-shaped outcome of one cell — the
+// exact fields internal/campaign copies out of core.Result. Everything
+// here except SimTime and RecoveryTime is machine-independent (traffic
+// counters measure payload bytes, recovery events carry iterations and
+// ranks); the two simulated times are valid only under ResultEntry.Model
+// and are re-derived from the schedule tier for any other machine.
+type CellResult struct {
+	Converged    bool                 `json:"converged"`
+	Iterations   int                  `json:"iterations"`
+	TotalSteps   int                  `json:"total_steps"`
+	RelResidual  float64              `json:"rel_residual"`
+	SimTime      float64              `json:"sim_time_s"`
+	RecoveryTime float64              `json:"recovery_time_s"`
+	WastedIters  int                  `json:"wasted_iters"`
+	Drift        float64              `json:"drift"`
+	MaxNodeBytes int64                `json:"max_node_bytes"`
+	HaloBytes    int64                `json:"halo_bytes"`
+	BytesSent    int64                `json:"bytes_sent"`
+	ActiveNodes  int                  `json:"active_nodes"`
+	Kernels      string               `json:"kernels,omitempty"`
+	Recoveries   []core.RecoveryEvent `json:"recoveries,omitempty"`
+}
+
+// ResultEntry is one result-tier entry: the condensed cell outcome plus
+// the machine model its simulated times were computed under. JSON floats
+// round-trip exactly under Go's shortest-representation encoding, so a
+// cache hit reproduces the cold run's report bytes bit-for-bit.
+type ResultEntry struct {
+	Model  cluster.CostModel `json:"model"`
+	Result CellResult        `json:"result"`
+}
+
+// IOStats is a point-in-time snapshot of the cache's raw I/O counters.
+// Hit/miss classification lives with the campaign engine (it decides
+// which tier satisfies a cell); the cache itself counts bytes and
+// rejected entries.
+type IOStats struct {
+	BytesRead    int64 // framed bytes of successfully validated entries
+	BytesWritten int64 // framed bytes written (both tiers)
+	Corrupt      int64 // entries rejected by frame validation or decoding
+}
+
+// Cache is an open cache directory. The zero value is unusable; obtain
+// one from Open. A nil *Cache is fully inert: every method no-ops (Get
+// misses, Put discards), so callers thread one handle unconditionally —
+// the same contract obs, hostobs and replay recorders follow.
+type Cache struct {
+	dir string
+
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+	corrupt      atomic.Int64
+}
+
+// Open opens (creating if absent) the cache directory and verifies its
+// provenance manifest against build. On a mismatch it applies policy and
+// returns a non-empty human-readable note describing what happened — the
+// caller is expected to surface it (the CLI prints it to stderr). With
+// MismatchBypass the returned cache is nil (inert); the error return is
+// reserved for real I/O failures.
+func Open(dir string, build obs.BuildInfo, policy MismatchPolicy) (*Cache, string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, "", err
+	}
+	want := Manifest{Format: FormatVersion, Build: build}
+	mpath := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(mpath)
+	switch {
+	case os.IsNotExist(err):
+		if err := stampManifest(mpath, want); err != nil {
+			return nil, "", err
+		}
+		return &Cache{dir: dir}, "", nil
+	case err != nil:
+		return nil, "", err
+	}
+	var have Manifest
+	if uerr := json.Unmarshal(data, &have); uerr == nil && have == want {
+		return &Cache{dir: dir}, "", nil
+	}
+	// Unreadable manifests are handled like mismatches: the directory's
+	// provenance is unknown, so its entries cannot be trusted.
+	switch policy {
+	case MismatchRefresh:
+		for _, tier := range []string{resultTierDir, scheduleTierDir} {
+			if err := os.RemoveAll(filepath.Join(dir, tier)); err != nil {
+				return nil, "", err
+			}
+		}
+		if err := stampManifest(mpath, want); err != nil {
+			return nil, "", err
+		}
+		note := fmt.Sprintf("cache %s was written by %s; refreshed (entries discarded, restamped as %s)",
+			dir, describeManifest(data, have), describeBuild(want.Build))
+		return &Cache{dir: dir}, note, nil
+	default:
+		note := fmt.Sprintf("cache %s was written by %s, this binary is %s; bypassing it (use a refresh policy to rebuild in place)",
+			dir, describeManifest(data, have), describeBuild(want.Build))
+		return nil, note, nil
+	}
+}
+
+func stampManifest(path string, m Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(path, append(data, '\n'))
+}
+
+func describeManifest(raw []byte, m Manifest) string {
+	if m == (Manifest{}) {
+		return fmt.Sprintf("an unreadable manifest (%d bytes)", len(raw))
+	}
+	return fmt.Sprintf("format %d, %s", m.Format, describeBuild(m.Build))
+}
+
+func describeBuild(b obs.BuildInfo) string {
+	rev := b.Revision
+	if rev == "" {
+		rev = "no-vcs"
+	} else if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if b.Modified {
+		rev += "+dirty"
+	}
+	return fmt.Sprintf("%s@%s", b.GoVersion, rev)
+}
+
+// Dir returns the cache root ("" on nil).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// Stats snapshots the raw I/O counters (zero on nil).
+func (c *Cache) Stats() IOStats {
+	if c == nil {
+		return IOStats{}
+	}
+	return IOStats{
+		BytesRead:    c.bytesRead.Load(),
+		BytesWritten: c.bytesWritten.Load(),
+		Corrupt:      c.corrupt.Load(),
+	}
+}
+
+// entryPath shards entries by the key's first hex byte.
+func (c *Cache) entryPath(tier string, k Key, ext string) string {
+	name := k.String()
+	return filepath.Join(c.dir, tier, name[:2], name+ext)
+}
+
+// read loads and validates one framed entry; (nil, false) is a miss —
+// absent, truncated, tampered and undecodable entries all land there, the
+// last three also counting as corrupt.
+func (c *Cache) read(path string) ([]byte, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false // absent (or unreadable) = plain miss
+	}
+	payload, err := unframe(data)
+	if err != nil {
+		c.corrupt.Add(1)
+		return nil, false
+	}
+	c.bytesRead.Add(int64(len(data)))
+	return payload, true
+}
+
+// GetResult fetches a result-tier entry ((nil, false) on miss or nil c).
+func (c *Cache) GetResult(k Key) (*ResultEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	payload, ok := c.read(c.entryPath(resultTierDir, k, ".res"))
+	if !ok {
+		return nil, false
+	}
+	var e ResultEntry
+	if err := json.Unmarshal(payload, &e); err != nil {
+		c.corrupt.Add(1)
+		return nil, false
+	}
+	return &e, true
+}
+
+// PutResult stores a result-tier entry (no-op on nil c). An existing
+// entry is replaced atomically.
+func (c *Cache) PutResult(k Key, e *ResultEntry) error {
+	if c == nil {
+		return nil
+	}
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	framed := frame(payload)
+	if err := writeFileAtomic(c.entryPath(resultTierDir, k, ".res"), framed); err != nil {
+		return err
+	}
+	c.bytesWritten.Add(int64(len(framed)))
+	return nil
+}
+
+// GetSchedule fetches and decodes a schedule-tier entry ((nil, false) on
+// miss or nil c). A schedule that fails frame validation or binary
+// decoding counts as corrupt and misses — the caller re-solves and
+// re-records, overwriting the bad entry.
+func (c *Cache) GetSchedule(k Key) (*replay.Schedule, bool) {
+	if c == nil {
+		return nil, false
+	}
+	payload, ok := c.read(c.entryPath(scheduleTierDir, k, ".sched"))
+	if !ok {
+		return nil, false
+	}
+	s, err := replay.DecodeBinary(payload)
+	if err != nil {
+		c.corrupt.Add(1)
+		return nil, false
+	}
+	return s, true
+}
+
+// PutSchedule stores a schedule-tier entry (no-op on nil c).
+func (c *Cache) PutSchedule(k Key, s *replay.Schedule) error {
+	if c == nil {
+		return nil
+	}
+	payload, err := s.EncodeBinary()
+	if err != nil {
+		return err
+	}
+	framed := frame(payload)
+	if err := writeFileAtomic(c.entryPath(scheduleTierDir, k, ".sched"), framed); err != nil {
+		return err
+	}
+	c.bytesWritten.Add(int64(len(framed)))
+	return nil
+}

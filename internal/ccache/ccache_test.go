@@ -1,0 +1,407 @@
+package ccache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"esrp/internal/cluster"
+	"esrp/internal/core"
+	"esrp/internal/matgen"
+	"esrp/internal/obs"
+	"esrp/internal/precond"
+	"esrp/internal/replay"
+	"esrp/internal/sparse"
+)
+
+// goldenInput is a fixed cell input used to pin the canonical encoding.
+func goldenInput() CellInput {
+	var m [32]byte
+	for i := range m {
+		m[i] = byte(i)
+	}
+	return CellInput{
+		Matrix:   m,
+		Nodes:    8,
+		Strategy: core.StrategyESRP,
+		T:        20,
+		Phi:      1,
+		Seed:     42,
+		Events: []core.FailureSpec{
+			{Iteration: 30, Ranks: []int{2, 3}},
+			{Iteration: 75, Ranks: []int{5}},
+		},
+		Spares:   2,
+		Rtol:     1e-8,
+		MaxIter:  0,
+		MaxBlock: 10,
+		Precond:  precond.BlockJacobi,
+		Kernel:   sparse.KernelAuto,
+	}
+}
+
+// TestKeyGolden pins the canonical key encoding byte-for-byte. If this
+// test fails, the encoding changed: every existing cache entry on every
+// machine silently misses. That may be intended (then bump keyVersion and
+// re-pin here), but it must never happen by accident — a field rename,
+// reorder, or width change all land here.
+func TestKeyGolden(t *testing.T) {
+	const want = "1d3f56373eb6e84e47cfeeb0ffe6764eaf2248f8669c3d61c6302c9d36239eee"
+	in := goldenInput()
+	if got := in.Key().String(); got != want {
+		t.Fatalf("canonical key changed:\n got %s\nwant %s\n(bump keyVersion if intentional)", got, want)
+	}
+}
+
+// Every field of CellInput must perturb the key — a field the encoder
+// skips would alias distinct cells onto one entry.
+func TestKeyFieldSensitivity(t *testing.T) {
+	base := goldenInput().Key()
+	mutations := map[string]func(*CellInput){
+		"Matrix":       func(in *CellInput) { in.Matrix[0] ^= 1 },
+		"Nodes":        func(in *CellInput) { in.Nodes++ },
+		"Strategy":     func(in *CellInput) { in.Strategy = core.StrategyIMCR },
+		"T":            func(in *CellInput) { in.T++ },
+		"Phi":          func(in *CellInput) { in.Phi++ },
+		"Seed":         func(in *CellInput) { in.Seed++ },
+		"EventIter":    func(in *CellInput) { in.Events[0].Iteration++ },
+		"EventRanks":   func(in *CellInput) { in.Events[1].Ranks = []int{6} },
+		"EventDropped": func(in *CellInput) { in.Events = in.Events[:1] },
+		"EventsNilVsEmpty is NOT distinct — both encode zero events": nil,
+		"Spares":   func(in *CellInput) { in.Spares++ },
+		"Rtol":     func(in *CellInput) { in.Rtol = 1e-10 },
+		"MaxIter":  func(in *CellInput) { in.MaxIter = 500 },
+		"MaxBlock": func(in *CellInput) { in.MaxBlock++ },
+		"Precond":  func(in *CellInput) { in.Precond = precond.Jacobi },
+		"Kernel":   func(in *CellInput) { in.Kernel = sparse.KernelCSR },
+	}
+	for name, mutate := range mutations {
+		if mutate == nil {
+			continue
+		}
+		in := goldenInput()
+		mutate(&in)
+		if in.Key() == base {
+			t.Errorf("mutating %s left the key unchanged", name)
+		}
+	}
+	// Field boundaries are tagged: shifting a value between adjacent
+	// fields must not collide.
+	a, b := goldenInput(), goldenInput()
+	a.T, a.Phi = 5, 7
+	b.T, b.Phi = 7, 5
+	if a.Key() == b.Key() {
+		t.Error("swapping T and Phi collided")
+	}
+}
+
+func TestMatrixDigestSensitivity(t *testing.T) {
+	a := matgen.Poisson2D(8, 8)
+	b := matgen.RHSOnes(a.Rows)
+	d0 := MatrixDigest(a, b)
+	if MatrixDigest(a, b) != d0 {
+		t.Fatal("digest is not deterministic")
+	}
+	a2 := matgen.Poisson2D(8, 8)
+	a2.Val[0] += 1e-12
+	if MatrixDigest(a2, b) == d0 {
+		t.Error("value perturbation did not change the digest")
+	}
+	b2 := append([]float64(nil), b...)
+	b2[len(b2)-1] = 2
+	if MatrixDigest(a, b2) == d0 {
+		t.Error("rhs perturbation did not change the digest")
+	}
+}
+
+func testBuild() obs.BuildInfo {
+	return obs.BuildInfo{GoVersion: "go1.99", Revision: "abc123"}
+}
+
+func openTestCache(t *testing.T) *Cache {
+	t.Helper()
+	c, note, err := Open(t.TempDir(), testBuild(), MismatchBypass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if note != "" {
+		t.Fatalf("fresh cache produced a note: %s", note)
+	}
+	if c == nil {
+		t.Fatal("fresh cache is nil")
+	}
+	return c
+}
+
+func testEntry() *ResultEntry {
+	return &ResultEntry{
+		Model: cluster.DefaultCostModel(),
+		Result: CellResult{
+			Converged: true, Iterations: 123, TotalSteps: 130,
+			RelResidual: 9.87e-9, SimTime: 0.0123456789, RecoveryTime: 0.001,
+			WastedIters: 7, Drift: 1e-12, MaxNodeBytes: 4096, HaloBytes: 2048,
+			BytesSent: 65536, ActiveNodes: 8, Kernels: "band+sellc×8",
+			Recoveries: []core.RecoveryEvent{{Iteration: 30, Ranks: []int{2, 3}, Mode: core.RecoverySpare, RecoveredAt: 20, WastedIters: 7, SparesLeft: -1, ActiveNodes: 8}},
+		},
+	}
+}
+
+func testSchedule() *replay.Schedule {
+	return &replay.Schedule{
+		Nodes: 2,
+		Views: [][]int{{0, 1}},
+		Events: [][]replay.Event{
+			{{Kind: replay.KindCompute, Val: 1.5}, {Kind: replay.KindSend, Peer: 1, Bytes: 64, AcctMsgs: 1, AcctBytes: 64}},
+			{{Kind: replay.KindRecv, Peer: 0}},
+		},
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	c := openTestCache(t)
+	in := goldenInput()
+	k := in.Key()
+	if _, ok := c.GetResult(k); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	want := testEntry()
+	if err := c.PutResult(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.GetResult(k)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if got.Model != want.Model || got.Result.SimTime != want.Result.SimTime ||
+		got.Result.Iterations != want.Result.Iterations || len(got.Result.Recoveries) != 1 {
+		t.Fatalf("entry did not round-trip: got %+v", got)
+	}
+	st := c.Stats()
+	if st.BytesWritten == 0 || st.BytesRead == 0 || st.Corrupt != 0 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	c := openTestCache(t)
+	k := goldenInput().Key()
+	if _, ok := c.GetSchedule(k); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	want := testSchedule()
+	if err := c.PutSchedule(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.GetSchedule(k)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	wb, _ := want.EncodeBinary()
+	gb, _ := got.EncodeBinary()
+	if !bytes.Equal(wb, gb) {
+		t.Fatal("schedule did not round-trip bit-exactly")
+	}
+}
+
+// Corruption must read as a miss (and count), never a crash or a wrong
+// answer: truncation, a flipped payload byte, a flipped checksum, a wrong
+// magic, and garbage all land on the recompute path.
+func TestCorruptionIsAMiss(t *testing.T) {
+	corruptions := map[string]func([]byte) []byte{
+		"truncated-header":  func(b []byte) []byte { return b[:frameHeaderLen-2] },
+		"truncated-payload": func(b []byte) []byte { return b[:len(b)-3] },
+		"flipped-byte":      func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b },
+		"flipped-crc":       func(b []byte) []byte { b[16] ^= 0xff; return b },
+		"wrong-magic":       func(b []byte) []byte { copy(b, "NOTESRP!"); return b },
+		"empty":             func(b []byte) []byte { return nil },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			c := openTestCache(t)
+			k := goldenInput().Key()
+			if err := c.PutResult(k, testEntry()); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.PutSchedule(k, testSchedule()); err != nil {
+				t.Fatal(err)
+			}
+			for _, path := range []string{
+				c.entryPath(resultTierDir, k, ".res"),
+				c.entryPath(scheduleTierDir, k, ".sched"),
+			} {
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, corrupt(data), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, ok := c.GetResult(k); ok {
+				t.Error("corrupt result entry was trusted")
+			}
+			if _, ok := c.GetSchedule(k); ok {
+				t.Error("corrupt schedule entry was trusted")
+			}
+			if st := c.Stats(); st.Corrupt != 2 {
+				t.Errorf("corrupt counter = %d, want 2", st.Corrupt)
+			}
+			// The miss is recoverable: a fresh put replaces the bad entry.
+			if err := c.PutResult(k, testEntry()); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := c.GetResult(k); !ok {
+				t.Error("re-put after corruption still misses")
+			}
+		})
+	}
+}
+
+// A corrupted frame whose payload still validates but decodes to garbage
+// (schedule tier): the decoder's own guards classify it as corrupt.
+func TestUndecodableScheduleIsAMiss(t *testing.T) {
+	c := openTestCache(t)
+	k := goldenInput().Key()
+	// A validly framed payload that is not an ESRPRPL1 stream.
+	if err := writeFileAtomic(c.entryPath(scheduleTierDir, k, ".sched"), frame([]byte("not a schedule"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetSchedule(k); ok {
+		t.Fatal("undecodable schedule was trusted")
+	}
+	if st := c.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", st.Corrupt)
+	}
+}
+
+func TestNilCacheIsInert(t *testing.T) {
+	var c *Cache
+	k := goldenInput().Key()
+	if _, ok := c.GetResult(k); ok {
+		t.Error("nil cache hit")
+	}
+	if _, ok := c.GetSchedule(k); ok {
+		t.Error("nil cache hit")
+	}
+	if err := c.PutResult(k, testEntry()); err != nil {
+		t.Error(err)
+	}
+	if err := c.PutSchedule(k, testSchedule()); err != nil {
+		t.Error(err)
+	}
+	if c.Stats() != (IOStats{}) || c.Dir() != "" {
+		t.Error("nil cache carries state")
+	}
+}
+
+// A cache dir stamped by a different build must never be silently mixed:
+// bypass runs cold and leaves it alone, refresh wipes and restamps.
+func TestBuildMismatch(t *testing.T) {
+	dir := t.TempDir()
+	c1, _, err := Open(dir, testBuild(), MismatchBypass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := goldenInput().Key()
+	if err := c1.PutResult(k, testEntry()); err != nil {
+		t.Fatal(err)
+	}
+
+	other := obs.BuildInfo{GoVersion: "go1.99", Revision: "def456"}
+	c2, note, err := Open(dir, other, MismatchBypass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != nil {
+		t.Fatal("bypass returned a usable cache for a foreign build")
+	}
+	if note == "" {
+		t.Fatal("bypass was silent")
+	}
+	// Bypass left the original entries intact.
+	c1b, note, err := Open(dir, testBuild(), MismatchBypass)
+	if err != nil || note != "" || c1b == nil {
+		t.Fatalf("reopening with the original build: cache=%v note=%q err=%v", c1b, note, err)
+	}
+	if _, ok := c1b.GetResult(k); !ok {
+		t.Fatal("bypass damaged the original cache")
+	}
+
+	c3, note, err := Open(dir, other, MismatchRefresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 == nil || note == "" {
+		t.Fatalf("refresh: cache=%v note=%q", c3, note)
+	}
+	if _, ok := c3.GetResult(k); ok {
+		t.Fatal("refresh kept a foreign build's entry")
+	}
+	// The refreshed stamp is the new build's.
+	c4, note, err := Open(dir, other, MismatchBypass)
+	if err != nil || note != "" || c4 == nil {
+		t.Fatalf("reopening after refresh: cache=%v note=%q err=%v", c4, note, err)
+	}
+}
+
+// An unreadable manifest means unknown provenance — handled exactly like
+// a mismatch.
+func TestGarbageManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, note, err := Open(dir, testBuild(), MismatchBypass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != nil || note == "" {
+		t.Fatalf("garbage manifest: cache=%v note=%q", c, note)
+	}
+}
+
+// The -schedules export and the schedule tier share one format; the
+// reader additionally accepts the pre-cache bare binary stream.
+func TestScheduleFileFormats(t *testing.T) {
+	dir := t.TempDir()
+	want := testSchedule()
+	wb, err := want.EncodeBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	framed := filepath.Join(dir, "framed.sched")
+	if err := WriteScheduleFile(framed, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScheduleFile(framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, _ := got.EncodeBinary()
+	if !bytes.Equal(wb, gb) {
+		t.Fatal("framed schedule file did not round-trip")
+	}
+
+	bare := filepath.Join(dir, "bare.sched")
+	if err := os.WriteFile(bare, wb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadScheduleFile(bare)
+	if err != nil {
+		t.Fatalf("bare pre-cache stream rejected: %v", err)
+	}
+	gb, _ = got.EncodeBinary()
+	if !bytes.Equal(wb, gb) {
+		t.Fatal("bare schedule file did not round-trip")
+	}
+
+	bad := filepath.Join(dir, "bad.sched")
+	if err := os.WriteFile(bad, append([]byte(frameMagic), 1, 2, 3), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadScheduleFile(bad); err == nil {
+		t.Fatal("truncated framed file accepted")
+	}
+}

@@ -110,6 +110,18 @@ type CampaignRecorder struct {
 	// single-writer WorkerLog fields stay lock-free.
 	liveWorkerCells []atomic.Int64
 
+	// Cache counters (campaign cache runs only): hit/miss classification
+	// is counted live from worker goroutines; the raw I/O figures are set
+	// once by the engine after the workers join. cacheOn gates the
+	// telemetry section so cache-less runs emit no cache metrics at all.
+	cacheResultHits   atomic.Int64
+	cacheScheduleHits atomic.Int64
+	cacheMisses       atomic.Int64
+	cacheOn           atomic.Bool
+	cacheBytesRead    int64
+	cacheBytesWritten int64
+	cacheCorrupt      int64
+
 	phaseMu sync.Mutex
 	phases  []PhaseSample
 }
@@ -191,6 +203,56 @@ func (r *CampaignRecorder) LiveWorkerCells() []int64 {
 	return out
 }
 
+// CacheResultHit counts one cell served whole from the cache's result
+// tier (no solve, no re-cost). Nil-safe; called from worker goroutines.
+func (r *CampaignRecorder) CacheResultHit() {
+	if r == nil {
+		return
+	}
+	r.cacheResultHits.Add(1)
+}
+
+// CacheScheduleHit counts one cell served from the schedule tier: the
+// machine-independent result fields came from the cache and the simulated
+// times from an O(events) re-cost of the stored schedule.
+func (r *CampaignRecorder) CacheScheduleHit() {
+	if r == nil {
+		return
+	}
+	r.cacheScheduleHits.Add(1)
+}
+
+// CacheMiss counts one cell that had to solve (entry absent, corrupt, or
+// not coverable by the stored tiers).
+func (r *CampaignRecorder) CacheMiss() {
+	if r == nil {
+		return
+	}
+	r.cacheMisses.Add(1)
+}
+
+// SetCacheIO records the cache's raw I/O totals and marks the run as
+// cache-backed (the gate for the telemetry's cache section). The engine
+// calls it once after the workers join.
+func (r *CampaignRecorder) SetCacheIO(bytesRead, bytesWritten, corrupt int64) {
+	if r == nil {
+		return
+	}
+	r.cacheBytesRead = bytesRead
+	r.cacheBytesWritten = bytesWritten
+	r.cacheCorrupt = corrupt
+	r.cacheOn.Store(true)
+}
+
+// LiveCacheHits returns the hit/miss counts so far — safe concurrently,
+// for progress meters (zeros on nil).
+func (r *CampaignRecorder) LiveCacheHits() (resultHits, scheduleHits, misses int64) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	return r.cacheResultHits.Load(), r.cacheScheduleHits.Load(), r.cacheMisses.Load()
+}
+
 // WallNs returns nanoseconds since Begin (0 on nil).
 func (r *CampaignRecorder) WallNs() int64 {
 	if r == nil {
@@ -207,6 +269,18 @@ type WorkerTelemetry struct {
 	Steals        int64
 	CellsStolen   int64
 	AffinityHits  int64
+}
+
+// CacheCounters is the campaign-cache section of the telemetry: how each
+// cell was satisfied (result tier, schedule tier, or a real solve) and
+// the store's raw I/O totals.
+type CacheCounters struct {
+	ResultHits   int64 `json:"result_hits"`
+	ScheduleHits int64 `json:"schedule_hits"`
+	Misses       int64 `json:"misses"`
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
+	Corrupt      int64 `json:"corrupt"`
 }
 
 // CampaignTelemetry is the post-run aggregate used by the Prometheus
@@ -226,6 +300,9 @@ type CampaignTelemetry struct {
 	Barrier       BarrierSnapshot
 	BarrierWaitNs int64
 	Phases        []PhaseSample
+
+	// Cache is non-nil only for cache-backed runs (SetCacheIO marks them).
+	Cache *CacheCounters
 }
 
 // Telemetry aggregates the recorder (zero value on nil).
@@ -241,6 +318,16 @@ func (r *CampaignRecorder) Telemetry() CampaignTelemetry {
 		Barrier:       r.barrier.Snapshot(),
 		BarrierWaitNs: r.barrier.TotalWaitNs(),
 		Phases:        r.PhaseSamples(),
+	}
+	if r.cacheOn.Load() {
+		t.Cache = &CacheCounters{
+			ResultHits:   r.cacheResultHits.Load(),
+			ScheduleHits: r.cacheScheduleHits.Load(),
+			Misses:       r.cacheMisses.Load(),
+			BytesRead:    r.cacheBytesRead,
+			BytesWritten: r.cacheBytesWritten,
+			Corrupt:      r.cacheCorrupt,
+		}
 	}
 	for i := range r.workers {
 		w := &r.workers[i]

@@ -93,6 +93,27 @@ func (t *CampaignTelemetry) WritePrometheus(w io.Writer) error {
 	p("# TYPE esrp_host_barrier_aborts_total counter\n")
 	p("esrp_host_barrier_aborts_total %d\n", t.Barrier.Aborts)
 
+	if c := t.Cache; c != nil {
+		p("# HELP esrp_host_cache_result_hits_total Cells served whole from the campaign cache's result tier.\n")
+		p("# TYPE esrp_host_cache_result_hits_total counter\n")
+		p("esrp_host_cache_result_hits_total %d\n", c.ResultHits)
+		p("# HELP esrp_host_cache_schedule_hits_total Cells served by re-costing a cached event schedule.\n")
+		p("# TYPE esrp_host_cache_schedule_hits_total counter\n")
+		p("esrp_host_cache_schedule_hits_total %d\n", c.ScheduleHits)
+		p("# HELP esrp_host_cache_misses_total Cells that had to solve.\n")
+		p("# TYPE esrp_host_cache_misses_total counter\n")
+		p("esrp_host_cache_misses_total %d\n", c.Misses)
+		p("# HELP esrp_host_cache_read_bytes_total Framed bytes of validated cache entries read.\n")
+		p("# TYPE esrp_host_cache_read_bytes_total counter\n")
+		p("esrp_host_cache_read_bytes_total %d\n", c.BytesRead)
+		p("# HELP esrp_host_cache_written_bytes_total Framed bytes of cache entries written.\n")
+		p("# TYPE esrp_host_cache_written_bytes_total counter\n")
+		p("esrp_host_cache_written_bytes_total %d\n", c.BytesWritten)
+		p("# HELP esrp_host_cache_corrupt_total Cache entries rejected by frame validation or decoding.\n")
+		p("# TYPE esrp_host_cache_corrupt_total counter\n")
+		p("esrp_host_cache_corrupt_total %d\n", c.Corrupt)
+	}
+
 	p("# HELP esrp_host_phase_heap_bytes Heap in use at each campaign phase boundary.\n")
 	p("# TYPE esrp_host_phase_heap_bytes gauge\n")
 	for _, ph := range t.Phases {

@@ -2,6 +2,7 @@ package replay
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -213,6 +214,23 @@ func ReadBinary(r io.Reader) (*Schedule, error) {
 		s.Events[g] = evs
 	}
 	return s, nil
+}
+
+// EncodeBinary returns the schedule's compact binary encoding as one byte
+// slice — the same bytes WriteBinary streams. The content-addressed campaign
+// cache frames these bytes (length + checksum) for its schedule tier, so
+// there is exactly one serializer for schedules on disk.
+func (s *Schedule) EncodeBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := s.WriteBinary(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeBinary decodes a schedule from its compact binary encoding.
+func DecodeBinary(data []byte) (*Schedule, error) {
+	return ReadBinary(bytes.NewReader(data))
 }
 
 // WriteJSON emits the schedule as JSON (large but diffable; floats are
